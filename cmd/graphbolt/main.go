@@ -1,0 +1,317 @@
+// Command graphbolt runs a streaming graph computation: it loads a base
+// graph, computes the initial result, then applies mutation batches from
+// a stream file (graphgen's format), reporting per-batch latency and
+// work.
+//
+// Usage:
+//
+//	graphbolt -graph base.el -stream stream.el -algo pagerank
+//	graphbolt -graph base.el -algo sssp -source 0 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "base graph edge-list file (required)")
+		streamPath = flag.String("stream", "", "mutation stream file (optional)")
+		algo       = flag.String("algo", "pagerank", "pagerank | labelprop | coem | bp | cf | sssp | bfs | cc | triangles")
+		mode       = flag.String("mode", "graphbolt", "graphbolt | graphbolt-rp | reset | ligra | naive")
+		iterations = flag.Int("iterations", 10, "BSP iterations")
+		horizon    = flag.Int("horizon", 0, "horizontal pruning cut-off (0 = iterations)")
+		source     = flag.Uint("source", 0, "source vertex for sssp/bfs")
+		top        = flag.Int("top", 5, "print the top-k vertices by value")
+		validate   = flag.Bool("validate", false, "after the stream, cross-check against a from-scratch run")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatal("need -graph")
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	g, err := graph.ReadEdgeList(f)
+	f.Close()
+	if err != nil {
+		fatal("load: %v", err)
+	}
+	fmt.Printf("loaded %s: V=%d E=%d\n", *graphPath, g.NumVertices(), g.NumEdges())
+
+	var batches []graph.Batch
+	if *streamPath != "" {
+		sf, err := os.Open(*streamPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		batches, err = stream.ReadBatches(sf)
+		sf.Close()
+		if err != nil {
+			fatal("stream: %v", err)
+		}
+		fmt.Printf("stream: %d batches\n", len(batches))
+	}
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fatal("%v", err)
+	}
+	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon}
+
+	if *algo == "triangles" {
+		runTriangles(g, batches, *top)
+		return
+	}
+
+	run, err := buildRunner(*algo, g, opts, graph.VertexID(*source), *top)
+	if err != nil {
+		fatal("%v", err)
+	}
+	start := time.Now()
+	st := run.run()
+	fmt.Printf("initial run: %v (%d iterations, %d edge computations)\n",
+		time.Since(start).Round(time.Microsecond), st.Iterations, st.EdgeComputations)
+	for i, b := range batches {
+		start = time.Now()
+		st = run.apply(b)
+		fmt.Printf("batch %d (%d+ %d-): %v (%d edge computations)\n",
+			i+1, len(b.Add), len(b.Del), time.Since(start).Round(time.Microsecond), st.EdgeComputations)
+	}
+	run.report()
+	if *validate {
+		worst := run.validate()
+		fmt.Printf("validation: max |streamed - scratch| = %.3e\n", worst)
+		if worst > 1e-6 {
+			fmt.Println("WARNING: divergence above 1e-6 (expected only with a large -tolerance)")
+		}
+	}
+}
+
+// maxAbsDiffScalar compares value arrays.
+func maxAbsDiffScalar(a, b []float64) float64 {
+	worst := 0.0
+	for v := range a {
+		d := a[v] - b[v]
+		if d < 0 {
+			d = -d
+		}
+		// Both unreachable (+Inf) counts as equal.
+		if d != d || (a[v] == b[v]) {
+			continue
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func maxAbsDiffVector(a, b [][]float64) float64 {
+	worst := 0.0
+	for v := range a {
+		for f := range a[v] {
+			d := a[v][f] - b[v][f]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// runner adapts the differently-typed engines.
+type runner struct {
+	run      func() core.Stats
+	apply    func(graph.Batch) core.Stats
+	report   func()
+	validate func() (worst float64)
+}
+
+func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.VertexID, top int) (*runner, error) {
+	scalarReport := func(name string, eng *core.Engine[float64, float64]) func() {
+		return func() { printTop(name, eng.Values(), top) }
+	}
+	scalarValidate := func(eng *core.Engine[float64, float64], p core.Program[float64, float64]) func() float64 {
+		return func() float64 {
+			o := opts
+			o.Mode = core.ModeReset
+			fresh, err := core.NewEngine[float64, float64](eng.Graph(), p, o)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fresh.Run()
+			return maxAbsDiffScalar(eng.Values(), fresh.Values())
+		}
+	}
+	vectorValidate := func(eng *core.Engine[[]float64, []float64], p core.Program[[]float64, []float64]) func() float64 {
+		return func() float64 {
+			o := opts
+			o.Mode = core.ModeReset
+			fresh, err := core.NewEngine[[]float64, []float64](eng.Graph(), p, o)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fresh.Run()
+			return maxAbsDiffVector(eng.Values(), fresh.Values())
+		}
+	}
+	switch algo {
+	case "pagerank":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), opts)
+		if err != nil {
+			return nil, err
+		}
+		return &runner{eng.Run, eng.ApplyBatch, scalarReport("rank", eng), scalarValidate(eng, algorithms.NewPageRank())}, nil
+	case "coem":
+		n := g.NumVertices()
+		eng, err := core.NewEngine[float64, algorithms.CoEMAgg](g,
+			algorithms.NewCoEM([]graph.VertexID{0}, []graph.VertexID{graph.VertexID(n - 1)}), opts)
+		if err != nil {
+			return nil, err
+		}
+		coemValidate := func() float64 {
+			o := opts
+			o.Mode = core.ModeReset
+			fresh, err := core.NewEngine[float64, algorithms.CoEMAgg](eng.Graph(),
+				algorithms.NewCoEM([]graph.VertexID{0}, []graph.VertexID{graph.VertexID(n - 1)}), o)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fresh.Run()
+			return maxAbsDiffScalar(eng.Values(), fresh.Values())
+		}
+		return &runner{eng.Run, eng.ApplyBatch, func() { printTop("score", eng.Values(), top) }, coemValidate}, nil
+	case "labelprop":
+		eng, err := core.NewEngine[[]float64, []float64](g,
+			algorithms.NewLabelProp(3, map[graph.VertexID]int{0: 0, 1: 1, 2: 2}), opts)
+		if err != nil {
+			return nil, err
+		}
+		return &runner{eng.Run, eng.ApplyBatch, func() { printVector("label", eng.Values(), top) },
+			vectorValidate(eng, algorithms.NewLabelProp(3, map[graph.VertexID]int{0: 0, 1: 1, 2: 2}))}, nil
+	case "bp":
+		eng, err := core.NewEngine[[]float64, []float64](g, algorithms.NewBeliefProp(3), opts)
+		if err != nil {
+			return nil, err
+		}
+		return &runner{eng.Run, eng.ApplyBatch, func() { printVector("belief", eng.Values(), top) },
+			vectorValidate(eng, algorithms.NewBeliefProp(3))}, nil
+	case "cf":
+		eng, err := core.NewEngine[[]float64, algorithms.CFAgg](g, algorithms.NewCollabFilter(4), opts)
+		if err != nil {
+			return nil, err
+		}
+		cfValidate := func() float64 {
+			o := opts
+			o.Mode = core.ModeReset
+			fresh, err := core.NewEngine[[]float64, algorithms.CFAgg](eng.Graph(), algorithms.NewCollabFilter(4), o)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fresh.Run()
+			return maxAbsDiffVector(eng.Values(), fresh.Values())
+		}
+		return &runner{eng.Run, eng.ApplyBatch, func() { printVector("factors", eng.Values(), top) }, cfValidate}, nil
+	case "sssp":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewSSSP(source), opts)
+		if err != nil {
+			return nil, err
+		}
+		return &runner{eng.Run, eng.ApplyBatch, scalarReport("distance", eng), scalarValidate(eng, algorithms.NewSSSP(source))}, nil
+	case "bfs":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewBFS(source), opts)
+		if err != nil {
+			return nil, err
+		}
+		return &runner{eng.Run, eng.ApplyBatch, scalarReport("hops", eng), scalarValidate(eng, algorithms.NewBFS(source))}, nil
+	case "cc":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewConnectedComponents(), opts)
+		if err != nil {
+			return nil, err
+		}
+		return &runner{eng.Run, eng.ApplyBatch, scalarReport("component", eng), scalarValidate(eng, algorithms.NewConnectedComponents())}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func runTriangles(g *graph.Graph, batches []graph.Batch, top int) {
+	start := time.Now()
+	tc := algorithms.NewTriangleCounter(g)
+	fmt.Printf("initial count: %d directed 3-cycles in %v\n",
+		tc.Triangles(), time.Since(start).Round(time.Microsecond))
+	for i, b := range batches {
+		start = time.Now()
+		tc.Apply(b)
+		fmt.Printf("batch %d: %d cycles, %v\n", i+1, tc.Triangles(), time.Since(start).Round(time.Microsecond))
+	}
+	for _, vt := range tc.TopTriangleVertices(top) {
+		fmt.Printf("  vertex %d closes %d cycles\n", vt.Vertex, vt.Closures)
+	}
+}
+
+func printTop(name string, vals []float64, k int) {
+	type pair struct {
+		v graph.VertexID
+		x float64
+	}
+	ps := make([]pair, len(vals))
+	for i, x := range vals {
+		ps[i] = pair{graph.VertexID(i), x}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x > ps[j].x })
+	if k > len(ps) {
+		k = len(ps)
+	}
+	fmt.Printf("top %d by %s:\n", k, name)
+	for _, p := range ps[:k] {
+		fmt.Printf("  vertex %-8d %g\n", p.v, p.x)
+	}
+}
+
+func printVector(name string, vals [][]float64, k int) {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	fmt.Printf("first %d %s vectors:\n", k, name)
+	for v := 0; v < k; v++ {
+		fmt.Printf("  vertex %-8d %v\n", v, vals[v])
+	}
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "graphbolt":
+		return core.ModeGraphBolt, nil
+	case "graphbolt-rp":
+		return core.ModeGraphBoltRP, nil
+	case "reset":
+		return core.ModeReset, nil
+	case "ligra":
+		return core.ModeLigra, nil
+	case "naive":
+		return core.ModeNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

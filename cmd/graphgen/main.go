@@ -1,0 +1,120 @@
+// Command graphgen writes deterministic synthetic graphs and mutation
+// streams to disk in the library's edge-list format.
+//
+// Usage:
+//
+//	graphgen -kind rmat -vertices 100000 -edges 1000000 -out graph.el
+//	graphgen -kind rmat -vertices 100000 -edges 1000000 -stream stream.el -batch 1000
+//
+// The stream file holds one mutation per line: "a src dst weight" for an
+// addition, "d src dst" for a deletion, with "#batch" lines separating
+// batches. cmd/graphbolt consumes it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "rmat", "generator: rmat | uniform | grid | chain")
+		vertices = flag.Int("vertices", 10000, "number of vertices (rows for grid)")
+		edges    = flag.Int("edges", 100000, "number of edges (cols for grid)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		weights  = flag.String("weights", "uniform", "edge weights: unit | uniform | smallint")
+		out      = flag.String("out", "", "write the full graph to this file")
+		streamTo = flag.String("stream", "", "write a base graph + mutation stream instead")
+		batch    = flag.Int("batch", 1000, "mutations per stream batch")
+		delFrac  = flag.Float64("delfrac", 0.25, "deletion fraction per batch")
+	)
+	flag.Parse()
+
+	var w gen.Weighting
+	switch *weights {
+	case "unit":
+		w = gen.WeightUnit
+	case "uniform":
+		w = gen.WeightUniform
+	case "smallint":
+		w = gen.WeightSmallInt
+	default:
+		fatal("unknown weights %q", *weights)
+	}
+
+	var es []graph.Edge
+	n := *vertices
+	switch *kind {
+	case "rmat":
+		es = gen.RMAT(*seed, n, *edges, w)
+	case "uniform":
+		es = gen.Uniform(*seed, n, *edges, w)
+	case "grid":
+		es = gen.Grid(*vertices, *edges, w)
+		n = *vertices * *edges
+	case "chain":
+		es = gen.Chain(n, w)
+	default:
+		fatal("unknown kind %q", *kind)
+	}
+
+	if *streamTo != "" {
+		s, err := stream.FromEdges(n, es, stream.Config{
+			BatchSize:      *batch,
+			DeleteFraction: *delFrac,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fatal("stream: %v", err)
+		}
+		if *out != "" {
+			writeGraph(*out, s.Base)
+		}
+		writeStream(*streamTo, s)
+		fmt.Printf("base: V=%d E=%d; stream: %d batches of ~%d to %s\n",
+			s.Base.NumVertices(), s.Base.NumEdges(), len(s.Batches), *batch, *streamTo)
+		return
+	}
+
+	g, err := graph.Build(n, es)
+	if err != nil {
+		fatal("build: %v", err)
+	}
+	if *out == "" {
+		fatal("need -out or -stream")
+	}
+	writeGraph(*out, g)
+	fmt.Printf("wrote V=%d E=%d to %s\n", g.NumVertices(), g.NumEdges(), *out)
+}
+
+func writeGraph(path string, g *graph.Graph) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		fatal("write: %v", err)
+	}
+}
+
+func writeStream(path string, s *stream.Stream) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if err := stream.WriteBatches(f, s.Batches); err != nil {
+		fatal("write stream: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package graphbolt_test
+
+import (
+	"fmt"
+
+	graphbolt "repro"
+)
+
+// Example demonstrates the streaming lifecycle: run once, then keep
+// results current through mutation batches.
+func Example() {
+	g, _ := graphbolt.BuildGraph(3, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 2, To: 0, Weight: 1},
+	})
+	eng, _ := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(),
+		graphbolt.Options{MaxIterations: 50})
+	eng.Run()
+	fmt.Printf("symmetric cycle: rank(1) = %.4f\n", eng.Values()[1])
+
+	// Break the symmetry: 0 now also points at 2.
+	eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{{From: 0, To: 2, Weight: 1}}})
+	fmt.Printf("after mutation:  rank(1) = %.4f, rank(2) = %.4f\n",
+		eng.Values()[1], eng.Values()[2])
+	// Output:
+	// symmetric cycle: rank(1) = 1.0000
+	// after mutation:  rank(1) = 0.6444, rank(2) = 1.1922
+}
+
+// Example_shortestPaths shows the non-decomposable min aggregation:
+// deletions that lengthen paths are handled by re-evaluation.
+func Example_shortestPaths() {
+	g, _ := graphbolt.BuildGraph(4, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 3, Weight: 1},
+		{From: 0, To: 3, Weight: 5},
+	})
+	eng, _ := graphbolt.NewEngine[float64, float64](g, graphbolt.NewSSSP(0),
+		graphbolt.Options{MaxIterations: 100})
+	eng.Run()
+	fmt.Printf("dist(3) = %v\n", eng.Values()[3])
+
+	// Deleting the short path forces the long one.
+	eng.ApplyBatch(graphbolt.Batch{Del: []graphbolt.Edge{{From: 1, To: 3}}})
+	fmt.Printf("dist(3) = %v after closure\n", eng.Values()[3])
+	// Output:
+	// dist(3) = 2
+	// dist(3) = 5 after closure
+}
+
+// Example_triangles shows the locally incremental triangle counter.
+func Example_triangles() {
+	g, _ := graphbolt.BuildGraph(4, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+	})
+	tc := graphbolt.NewTriangleCounter(g)
+	fmt.Println("cycles:", tc.Triangles())
+
+	tc.Apply(graphbolt.Batch{Add: []graphbolt.Edge{{From: 2, To: 0, Weight: 1}}})
+	fmt.Println("cycles after closing the loop:", tc.Triangles())
+	// Output:
+	// cycles: 0
+	// cycles after closing the loop: 1
+}

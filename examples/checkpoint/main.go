@@ -1,0 +1,86 @@
+// Checkpoint: a streaming service pattern — compute, checkpoint the
+// engine (graph + values + dependency store) to disk, simulate a process
+// restart by restoring into a fresh engine, and keep streaming. The
+// restored engine refines incrementally exactly as the original would
+// have: no recomputation on restart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	graphbolt "repro"
+)
+
+func main() {
+	s, err := graphbolt.NewRMATStream(21, 5000, 50000, graphbolt.StreamConfig{
+		BatchSize:  1000,
+		NumBatches: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := graphbolt.Options{MaxIterations: 10}
+
+	eng, err := graphbolt.NewEngine[float64, float64](s.Base, graphbolt.NewPageRank(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Run()
+	for _, b := range s.Batches[:3] {
+		eng.ApplyBatch(b)
+	}
+	fmt.Printf("streamed 3 batches; graph now has %d edges\n", eng.Graph().NumEdges())
+
+	// Checkpoint to disk.
+	path := filepath.Join(os.TempDir(), "graphbolt.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.WriteSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("checkpointed engine state to %s (%d bytes)\n", path, info.Size())
+
+	// "Restart": a brand-new engine restores the checkpoint.
+	empty, _ := graphbolt.BuildGraph(1, nil)
+	restored, err := graphbolt.NewEngine[float64, float64](empty, graphbolt.NewPageRank(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := restored.ReadSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("restored engine: %d vertices at level %d\n",
+		restored.Graph().NumVertices(), restored.Level())
+
+	// Both engines stream the remaining batches; they must stay in
+	// lockstep.
+	for _, b := range s.Batches[3:] {
+		eng.ApplyBatch(b)
+		restored.ApplyBatch(b)
+	}
+	worst := 0.0
+	for v := range eng.Values() {
+		if d := math.Abs(eng.Values()[v] - restored.Values()[v]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("after 3 more batches on both: max divergence = %.3e\n", worst)
+	if worst > 1e-12 {
+		log.Fatal("restored engine diverged")
+	}
+	fmt.Println("restored engine streams in lockstep with the original ✓")
+	os.Remove(path)
+}

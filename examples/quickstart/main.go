@@ -1,0 +1,76 @@
+// Quickstart: build a small graph, compute PageRank, stream in a
+// mutation batch, and observe that the incrementally refined ranks match
+// a from-scratch run on the mutated graph — the library's core
+// guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	graphbolt "repro"
+)
+
+func main() {
+	// A toy web graph: page 0 links to 1 and 2, everything links back
+	// to 0, page 3 is isolated for now.
+	g, err := graphbolt.BuildGraph(4, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 0, To: 2, Weight: 1},
+		{From: 1, To: 0, Weight: 1},
+		{From: 2, To: 0, Weight: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{
+		MaxIterations: 10, // the paper's evaluation budget
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := eng.Run()
+	fmt.Printf("initial run: %d iterations, %d edge computations\n", st.Iterations, st.EdgeComputations)
+	printRanks("before mutation", eng.Values())
+
+	// Page 3 appears: two new links arrive as one atomic batch.
+	st = eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{
+		{From: 0, To: 3, Weight: 1},
+		{From: 3, To: 0, Weight: 1},
+	}})
+	fmt.Printf("mutation batch: %d edge computations (refinement, not recompute)\n", st.EdgeComputations)
+	printRanks("after mutation", eng.Values())
+
+	// The guarantee: refined results equal a from-scratch run on the
+	// mutated snapshot (Theorem 4.1 — BSP semantics preserved).
+	fresh, err := graphbolt.NewEngine[float64, float64](eng.Graph(), graphbolt.NewPageRank(), graphbolt.Options{
+		Mode:          graphbolt.ModeReset,
+		MaxIterations: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh.Run()
+	worst := 0.0
+	for v := range eng.Values() {
+		if d := math.Abs(eng.Values()[v] - fresh.Values()[v]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("max |refined - scratch| = %.2e\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("refinement diverged from scratch run")
+	}
+	fmt.Println("refined results match a from-scratch computation ✓")
+}
+
+func printRanks(label string, ranks []float64) {
+	fmt.Printf("%s:", label)
+	for v, r := range ranks {
+		fmt.Printf("  v%d=%.4f", v, r)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,167 @@
+// Package graphbolt is a Go implementation of GraphBolt
+// (Mariappan & Vora, EuroSys 2019): dependency-driven synchronous
+// processing of streaming graphs. It executes iterative graph algorithms
+// under Bulk Synchronous Parallel semantics and keeps their results up
+// to date across edge/vertex insertions and deletions by refining
+// tracked aggregation values instead of recomputing — while guaranteeing
+// the refined results equal a from-scratch run on the mutated graph.
+//
+// # Quick start
+//
+//	g, _ := graphbolt.BuildGraph(4, []graphbolt.Edge{{From: 0, To: 1, Weight: 1}})
+//	eng, _ := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{})
+//	eng.Run()                                            // initial computation
+//	eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{{From: 1, To: 2, Weight: 1}}})
+//	ranks := eng.Values()                                // up to date for the new snapshot
+//
+// Algorithms are expressed against the incremental programming model of
+// the paper (§3.3): an aggregation operator ⊕ with incremental
+// counterparts ⊎ (Propagate), ⋃- (Retract) and ⋃△ (PropagateDelta), and
+// a vertex function ∮ (Compute). Seven algorithms ship in the box:
+// PageRank, Label Propagation, CoEM, Belief Propagation, Collaborative
+// Filtering, SSSP/BFS/Connected Components (non-decomposable min), and
+// an incremental Triangle Counter.
+package graphbolt
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kickstarter"
+	"repro/internal/stream"
+)
+
+// Graph re-exports the immutable CSR+CSC snapshot type.
+type Graph = graph.Graph
+
+// Edge is a directed weighted edge.
+type Edge = graph.Edge
+
+// Batch is an atomic set of edge insertions and deletions.
+type Batch = graph.Batch
+
+// ApplyResult reports what a batch actually changed.
+type ApplyResult = graph.ApplyResult
+
+// VertexID identifies a vertex.
+type VertexID = graph.VertexID
+
+// Engine is the streaming BSP engine, generic over vertex value V and
+// aggregation A.
+type Engine[V, A any] = core.Engine[V, A]
+
+// Program is the incremental programming model algorithms implement.
+type Program[V, A any] = core.Program[V, A]
+
+// DeltaProgram marks single-pass change-in-contribution support.
+type DeltaProgram[V, A any] = core.DeltaProgram[V, A]
+
+// PullProgram marks non-decomposable aggregations (min/max).
+type PullProgram = core.PullProgram
+
+// Options configures an Engine.
+type Options = core.Options
+
+// Stats reports per-call work.
+type Stats = core.Stats
+
+// Mode selects the execution strategy.
+type Mode = core.Mode
+
+// Execution modes (see the paper's evaluation, §5.1).
+const (
+	// ModeGraphBolt is dependency-driven incremental processing.
+	ModeGraphBolt = core.ModeGraphBolt
+	// ModeGraphBoltRP forces retract+propagate transitive updates.
+	ModeGraphBoltRP = core.ModeGraphBoltRP
+	// ModeReset restarts with selective scheduling on mutation (GB-Reset).
+	ModeReset = core.ModeReset
+	// ModeLigra restarts with full recomputation on mutation.
+	ModeLigra = core.ModeLigra
+	// ModeNaive reuses values without refinement (incorrect; Table 1).
+	ModeNaive = core.ModeNaive
+)
+
+// NewEngine constructs an engine for a program over a snapshot.
+func NewEngine[V, A any](g *Graph, p Program[V, A], opts Options) (*Engine[V, A], error) {
+	return core.NewEngine[V, A](g, p, opts)
+}
+
+// BuildGraph constructs a snapshot from an edge list with n vertices.
+func BuildGraph(n int, edges []Edge) (*Graph, error) { return graph.Build(n, edges) }
+
+// LoadGraph reads a "from to [weight]" edge list.
+func LoadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// LoadGraphFile reads an edge-list file from disk.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+// SaveGraph writes the snapshot as an edge list.
+func SaveGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Algorithm constructors (Table 4 of the paper).
+var (
+	// NewPageRank returns damped PageRank (simple sum aggregation).
+	NewPageRank = algorithms.NewPageRank
+	// NewPersonalizedPageRank returns source-biased PageRank.
+	NewPersonalizedPageRank = algorithms.NewPersonalizedPageRank
+	// NewKatz returns Katz centrality (attenuated path counting).
+	NewKatz = algorithms.NewKatz
+	// NewLabelProp returns Label Propagation over F labels with seeds.
+	NewLabelProp = algorithms.NewLabelProp
+	// NewCoEM returns Co-Training Expectation Maximization.
+	NewCoEM = algorithms.NewCoEM
+	// NewBeliefProp returns loopy Belief Propagation (complex product).
+	NewBeliefProp = algorithms.NewBeliefProp
+	// NewCollabFilter returns ALS collaborative filtering (complex pair).
+	NewCollabFilter = algorithms.NewCollabFilter
+	// NewSSSP returns single-source shortest paths (non-decomposable min).
+	NewSSSP = algorithms.NewSSSP
+	// NewBFS returns hop distances (non-decomposable min).
+	NewBFS = algorithms.NewBFS
+	// NewConnectedComponents returns min-label components.
+	NewConnectedComponents = algorithms.NewConnectedComponents
+	// NewTriangleCounter returns the incremental triangle counter.
+	NewTriangleCounter = algorithms.NewTriangleCounter
+	// NewKickStarterSSSP returns the KickStarter-style baseline engine.
+	NewKickStarterSSSP = kickstarter.NewSSSP
+)
+
+// Algorithm value/aggregation type aliases, for spelling engine type
+// parameters.
+type (
+	// PageRankEngine runs PageRank (V = A = float64).
+	PageRankEngine = core.Engine[float64, float64]
+	// CoEMAgg is CoEM's pair aggregate.
+	CoEMAgg = algorithms.CoEMAgg
+	// CFAgg is collaborative filtering's ⟨Gram matrix, vector⟩ aggregate.
+	CFAgg = algorithms.CFAgg
+)
+
+// Stream re-exports mutation-stream construction.
+type Stream = stream.Stream
+
+// StreamConfig configures stream construction.
+type StreamConfig = stream.Config
+
+// NewRMATStream generates an RMAT graph and splits it into a base
+// snapshot plus mutation batches per the paper's methodology (§5.1).
+func NewRMATStream(seed uint64, n, m int, cfg StreamConfig) (*Stream, error) {
+	return stream.RMAT(seed, n, m, gen.WeightUniform, cfg)
+}
+
+// RMATEdges generates a deterministic skewed edge list.
+func RMATEdges(seed uint64, n, m int) []Edge {
+	return gen.RMAT(seed, n, m, gen.WeightUniform)
+}

@@ -1,0 +1,174 @@
+package graphbolt_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	graphbolt "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g, err := graphbolt.BuildGraph(4, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 2, To: 0, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Run()
+	if st.Iterations == 0 || st.EdgeComputations == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{{From: 2, To: 3, Weight: 1}}})
+	if len(eng.Values()) != 4 {
+		t.Fatalf("values = %v", eng.Values())
+	}
+
+	fresh, _ := graphbolt.NewEngine[float64, float64](eng.Graph(), graphbolt.NewPageRank(),
+		graphbolt.Options{Mode: graphbolt.ModeReset, MaxIterations: 30})
+	fresh.Run()
+	for v := range eng.Values() {
+		if math.Abs(eng.Values()[v]-fresh.Values()[v]) > 1e-9 {
+			t.Fatalf("vertex %d: %v vs %v", v, eng.Values()[v], fresh.Values()[v])
+		}
+	}
+}
+
+func TestGraphSerializationRoundTrip(t *testing.T) {
+	g, _ := graphbolt.BuildGraph(3, []graphbolt.Edge{{From: 0, To: 1, Weight: 2.5}})
+	var buf bytes.Buffer
+	if err := graphbolt.SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graphbolt.LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 1 || g2.NumVertices() != 3 {
+		t.Fatalf("round trip: V=%d E=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	if w, ok := g2.EdgeWeight(0, 1); !ok || w != 2.5 {
+		t.Fatal("weight lost")
+	}
+}
+
+func TestRMATStreamFacade(t *testing.T) {
+	s, err := graphbolt.NewRMATStream(3, 128, 1000, graphbolt.StreamConfig{BatchSize: 50, NumBatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base.NumVertices() != 128 || len(s.Batches) != 3 {
+		t.Fatalf("stream: V=%d batches=%d", s.Base.NumVertices(), len(s.Batches))
+	}
+	eng, _ := graphbolt.NewEngine[float64, float64](s.Base, graphbolt.NewPageRank(), graphbolt.Options{})
+	eng.Run()
+	for _, b := range s.Batches {
+		eng.ApplyBatch(b)
+	}
+	if eng.Graph().NumEdges() <= s.Base.NumEdges() {
+		t.Fatal("stream did not grow the graph")
+	}
+}
+
+func TestTriangleCounterFacade(t *testing.T) {
+	g, _ := graphbolt.BuildGraph(3, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 0, Weight: 1},
+	})
+	tc := graphbolt.NewTriangleCounter(g)
+	if tc.Triangles() != 1 {
+		t.Fatalf("triangles = %d", tc.Triangles())
+	}
+}
+
+func TestKickStarterFacade(t *testing.T) {
+	g, _ := graphbolt.BuildGraph(3, []graphbolt.Edge{{From: 0, To: 1, Weight: 2}, {From: 1, To: 2, Weight: 2}})
+	ks := graphbolt.NewKickStarterSSSP(g, 0)
+	if ks.Distances()[2] != 4 {
+		t.Fatalf("dist = %v", ks.Distances())
+	}
+}
+
+func TestLoadGraphFile(t *testing.T) {
+	g, _ := graphbolt.BuildGraph(3, []graphbolt.Edge{{From: 0, To: 2, Weight: 4}})
+	path := filepath.Join(t.TempDir(), "g.el")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphbolt.SaveGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g2, err := graphbolt.LoadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g2.EdgeWeight(0, 2); !ok || w != 4 {
+		t.Fatalf("loaded weight %v,%v", w, ok)
+	}
+	if _, err := graphbolt.LoadGraphFile(filepath.Join(t.TempDir(), "missing.el")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRMATEdgesDeterministic(t *testing.T) {
+	a := graphbolt.RMATEdges(5, 64, 200)
+	b := graphbolt.RMATEdges(5, 64, 200)
+	if len(a) != 200 {
+		t.Fatalf("edges = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RMATEdges not deterministic")
+		}
+	}
+}
+
+func TestKatzAndPPRFacade(t *testing.T) {
+	g, _ := graphbolt.BuildGraph(3, []graphbolt.Edge{{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}})
+	katz, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewKatz(), graphbolt.Options{MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	katz.Run()
+	if katz.Values()[2] <= katz.Values()[0] {
+		t.Fatal("katz ordering wrong")
+	}
+	ppr, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPersonalizedPageRank([]graphbolt.VertexID{0}),
+		graphbolt.Options{MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppr.Run()
+	if ppr.Values()[0] <= ppr.Values()[2] {
+		t.Fatal("ppr not biased toward source")
+	}
+}
+
+func TestSnapshotFacade(t *testing.T) {
+	g, _ := graphbolt.BuildGraph(10, graphbolt.RMATEdges(6, 10, 40))
+	eng, _ := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{MaxIterations: 5})
+	eng.Run()
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	empty, _ := graphbolt.BuildGraph(1, nil)
+	restored, _ := graphbolt.NewEngine[float64, float64](empty, graphbolt.NewPageRank(), graphbolt.Options{MaxIterations: 5})
+	if err := restored.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for v := range eng.Values() {
+		if restored.Values()[v] != eng.Values()[v] {
+			t.Fatal("restored values differ")
+		}
+	}
+}

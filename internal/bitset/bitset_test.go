@@ -1,0 +1,151 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	if b.Get(5) {
+		t.Fatal("fresh bitset has bit set")
+	}
+	if !b.Set(5) {
+		t.Fatal("Set of clear bit returned false")
+	}
+	if b.Set(5) {
+		t.Fatal("Set of set bit returned true")
+	}
+	if !b.Get(5) {
+		t.Fatal("bit not visible after Set")
+	}
+	b.Clear(5)
+	if b.Get(5) {
+		t.Fatal("bit visible after Clear")
+	}
+}
+
+func TestCountAndMembers(t *testing.T) {
+	b := New(1000)
+	keys := []uint32{0, 1, 63, 64, 65, 127, 128, 999}
+	for _, k := range keys {
+		b.Set(k)
+	}
+	if got := b.Count(); got != len(keys) {
+		t.Fatalf("Count = %d, want %d", got, len(keys))
+	}
+	if got := b.CountParallel(); got != len(keys) {
+		t.Fatalf("CountParallel = %d, want %d", got, len(keys))
+	}
+	members := b.Members(nil)
+	if len(members) != len(keys) {
+		t.Fatalf("Members len = %d, want %d", len(members), len(keys))
+	}
+	for i := range keys {
+		if members[i] != keys[i] {
+			t.Fatalf("Members[%d] = %d, want %d", i, members[i], keys[i])
+		}
+	}
+}
+
+func TestRangeOrder(t *testing.T) {
+	b := New(500)
+	for _, k := range []uint32{300, 3, 77} {
+		b.Set(k)
+	}
+	var got []uint32
+	b.Range(func(i uint32) { got = append(got, i) })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("Range not ascending: %v", got)
+	}
+}
+
+func TestConcurrentSetExactlyOneWinner(t *testing.T) {
+	b := New(64)
+	wins := parallel.NewCounter()
+	parallel.ForWorker(10_000, 16, func(worker, start, end int) {
+		for i := start; i < end; i++ {
+			if b.Set(uint32(i % 64)) {
+				wins.Add(worker, 1)
+			}
+		}
+	})
+	if got := wins.Sum(); got != 64 {
+		t.Fatalf("winners = %d, want 64", got)
+	}
+	if b.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", b.Count())
+	}
+}
+
+func TestOrClone(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	b.Set(127)
+	c := a.Clone()
+	c.Or(b)
+	if !c.Get(1) || !c.Get(127) {
+		t.Fatal("Or result missing bits")
+	}
+	if a.Get(127) {
+		t.Fatal("Or mutated source clone's origin")
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	b := New(256)
+	for i := 0; i < 256; i += 3 {
+		b.Set(uint32(i))
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatalf("Count after ClearAll = %d", b.Count())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(64).Bytes(); got != 8 {
+		t.Fatalf("Bytes(64) = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Fatalf("Bytes(65) = %d, want 16", got)
+	}
+}
+
+// Property: a bitset behaves like a map[uint32]bool under random
+// operations.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 300
+		b := New(n)
+		ref := map[uint32]bool{}
+		ops := int(opsRaw)%500 + 1
+		for i := 0; i < ops; i++ {
+			k := uint32(rng.Intn(n))
+			if rng.Intn(3) == 0 {
+				b.Clear(k)
+				delete(ref, k)
+			} else {
+				b.Set(k)
+				ref[k] = true
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !b.Get(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/deps"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Engine executes a Program over a streaming graph. Construct with
+// NewEngine, call Run once for the initial computation, then ApplyBatch
+// for every mutation batch; Values returns the current results.
+//
+// An Engine is not safe for concurrent method calls; each call is
+// internally parallel.
+type Engine[V, A any] struct {
+	p     Program[V, A]
+	delta DeltaProgram[V, A] // nil when unsupported or in RP mode
+	pull  bool
+	deg   bool // contribution depends on source out-degree
+	opts  Options
+
+	g    *graph.Graph
+	vals []V // c_level
+	old  []V // value before the last change (delta push base), per vertex
+	agg  []A // running aggregates д_level
+	hist *deps.Store[A]
+
+	locks *parallel.StripedLocks
+	level int // completed BSP levels
+	ran   bool
+
+	stats Stats // cumulative
+}
+
+// NewEngine creates an engine over g. The graph may be nil only if a
+// graph is installed before Run via ApplyBatch on an empty base.
+func NewEngine[V, A any](g *graph.Graph, p Program[V, A], opts Options) (*Engine[V, A], error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	opts = opts.withDefaults()
+	e := &Engine[V, A]{
+		p:     p,
+		pull:  isPull(p),
+		deg:   usesOutDegree(p),
+		opts:  opts,
+		g:     g,
+		locks: parallel.NewStripedLocks(),
+	}
+	if d, ok := any(p).(DeltaProgram[V, A]); ok && opts.Mode != ModeGraphBoltRP {
+		e.delta = d
+	}
+	return e, nil
+}
+
+// Graph returns the current snapshot.
+func (e *Engine[V, A]) Graph() *graph.Graph { return e.g }
+
+// Values returns the current vertex values. The slice aliases engine
+// state; treat it as read-only.
+func (e *Engine[V, A]) Values() []V { return e.vals }
+
+// Level returns the number of completed BSP iterations backing Values.
+func (e *Engine[V, A]) Level() int { return e.level }
+
+// TotalStats returns cumulative work statistics across all calls.
+func (e *Engine[V, A]) TotalStats() Stats { return e.stats }
+
+// HistoryBytes reports the dependency store's heap footprint (0 for
+// modes that do not track dependencies).
+func (e *Engine[V, A]) HistoryBytes() int64 {
+	if e.hist == nil {
+		return 0
+	}
+	return e.hist.HeapBytes()
+}
+
+func (e *Engine[V, A]) tracking() bool {
+	return e.opts.Mode == ModeGraphBolt || e.opts.Mode == ModeGraphBoltRP
+}
+
+// Run executes the initial computation from scratch (also used by the
+// restart modes after a mutation). Subsequent calls restart.
+func (e *Engine[V, A]) Run() Stats {
+	start := time.Now()
+	var st Stats
+	e.resetState()
+	if e.opts.Mode == ModeLigra {
+		st = e.runLigra()
+	} else {
+		st = e.runDelta(1, nil, e.opts.MaxIterations)
+	}
+	e.ran = true
+	st.Duration = time.Since(start)
+	e.stats.Add(st)
+	return st
+}
+
+// resetState reinitializes values, aggregates and history for the
+// current graph.
+func (e *Engine[V, A]) resetState() {
+	n := e.g.NumVertices()
+	e.vals = make([]V, n)
+	e.old = make([]V, n)
+	for v := 0; v < n; v++ {
+		e.vals[v] = e.p.InitValue(VertexID(v))
+	}
+	e.agg = make([]A, n)
+	for v := range e.agg {
+		e.agg[v] = e.p.IdentityAgg()
+	}
+	if e.tracking() {
+		e.resetHistory()
+	} else {
+		e.hist = nil
+	}
+	e.level = 0
+}
+
+// resetHistory installs an empty dependency store sized for the current
+// graph.
+func (e *Engine[V, A]) resetHistory() {
+	e.hist = deps.New[A](e.g.NumVertices(), e.opts.Horizon,
+		e.p.CloneAgg,
+		e.p.AggBytes,
+		e.p.IdentityAgg,
+	)
+}
+
+// grow extends engine state to n vertices (mutations can add vertices).
+func (e *Engine[V, A]) grow(n int) {
+	for v := len(e.vals); v < n; v++ {
+		e.vals = append(e.vals, e.p.InitValue(VertexID(v)))
+		e.old = append(e.old, e.p.InitValue(VertexID(v)))
+		e.agg = append(e.agg, e.p.IdentityAgg())
+	}
+	if e.hist != nil {
+		e.hist.Grow(n)
+	}
+}
+
+// valueAt reconstructs the value of v at the given level from the
+// dependency store: level 0 is the initial value; otherwise ∮ of the
+// stored aggregate (identity when the vertex has no history). Only valid
+// in tracking modes.
+func (e *Engine[V, A]) valueAt(v VertexID, level int) V {
+	if level <= 0 {
+		return e.p.InitValue(v)
+	}
+	a, ok := e.hist.Lookup(v, level)
+	if !ok {
+		a = e.p.IdentityAgg()
+	}
+	return e.p.Compute(v, a)
+}
+
+// runDelta executes delta-based BSP levels starting at fromLevel until
+// the frontier empties or MaxIterations is reached. For fromLevel == 1,
+// seed must be nil: every vertex contributes fully and every vertex
+// computes. For fromLevel > 1 (hybrid continuation), seed holds the
+// vertices whose value changed between levels fromLevel-2 and
+// fromLevel-1, with e.old holding the earlier value.
+func (e *Engine[V, A]) runDelta(fromLevel int, seed *frontier.Frontier, maxLevel int) Stats {
+	var st Stats
+	n := e.g.NumVertices()
+	edgeWork := parallel.NewCounter()
+	vertWork := parallel.NewCounter()
+
+	front := seed
+	for level := fromLevel; level <= maxLevel; level++ {
+		first := level == 1
+		if !first && (front == nil || front.IsEmpty()) {
+			break
+		}
+		touched := bitset.New(n)
+
+		if e.pull {
+			e.pullLevel(first, front, touched, edgeWork)
+		} else if first {
+			// Level 1: full contributions from every vertex.
+			parallel.ForWorker(n, 64, func(worker, startV, endV int) {
+				var cnt int64
+				for u := startV; u < endV; u++ {
+					uid := VertexID(u)
+					ts, ws := e.g.OutNeighbors(uid)
+					deg := len(ts)
+					src := e.vals[u]
+					for i, t := range ts {
+						e.locks.Lock(t)
+						e.p.Propagate(&e.agg[t], src, uid, t, ws[i], deg)
+						e.locks.Unlock(t)
+						touched.Set(t)
+					}
+					cnt += int64(deg)
+				}
+				edgeWork.Add(worker, cnt)
+			})
+		} else {
+			verts := front.Vertices()
+			parallel.ForWorker(len(verts), 16, func(worker, startV, endV int) {
+				var cnt int64
+				for k := startV; k < endV; k++ {
+					uid := verts[k]
+					ts, ws := e.g.OutNeighbors(uid)
+					deg := len(ts)
+					oldSrc, newSrc := e.old[uid], e.vals[uid]
+					for i, t := range ts {
+						e.locks.Lock(t)
+						if e.delta != nil {
+							e.delta.PropagateDelta(&e.agg[t], oldSrc, newSrc, uid, t, ws[i], deg, deg)
+							cnt++
+						} else {
+							e.p.Retract(&e.agg[t], oldSrc, uid, t, ws[i], deg)
+							e.p.Propagate(&e.agg[t], newSrc, uid, t, ws[i], deg)
+							cnt += 2
+						}
+						e.locks.Unlock(t)
+						touched.Set(t)
+					}
+				}
+				edgeWork.Add(worker, cnt)
+			})
+		}
+
+		// Compute phase: level 1 computes every vertex (c_1 = ∮(д_1)
+		// differs from c_0 in general); later levels only touched ones.
+		next := frontier.New(n)
+		computeOne := func(v VertexID, wasTouched bool) {
+			nv := e.p.Compute(v, e.agg[v])
+			if wasTouched && e.tracking() {
+				e.hist.Append(v, level, e.agg[v])
+			}
+			if e.p.Changed(e.vals[v], nv) {
+				e.old[v] = e.vals[v]
+				e.vals[v] = nv
+				next.AddAtomic(v)
+			}
+		}
+		if first {
+			parallel.ForWorker(n, 256, func(worker, startV, endV int) {
+				for v := startV; v < endV; v++ {
+					computeOne(VertexID(v), touched.Get(VertexID(v)))
+				}
+				vertWork.Add(worker, int64(endV-startV))
+			})
+			if e.tracking() && e.opts.DisableVerticalPruning {
+				e.snapshotAll(level)
+			}
+		} else {
+			members := touched.Members(nil)
+			parallel.ForWorker(len(members), 64, func(worker, startV, endV int) {
+				for k := startV; k < endV; k++ {
+					computeOne(members[k], true)
+				}
+				vertWork.Add(worker, int64(endV-startV))
+			})
+			if e.tracking() && e.opts.DisableVerticalPruning {
+				e.snapshotAll(level)
+			}
+		}
+		front = next
+		e.level = level
+		st.Iterations++
+	}
+
+	st.EdgeComputations = edgeWork.Sum()
+	st.VertexComputations = vertWork.Sum()
+	return st
+}
+
+// snapshotAll stores every vertex's aggregate at the level (vertical
+// pruning disabled: per-iteration allocations across all vertices, §4.1).
+func (e *Engine[V, A]) snapshotAll(level int) {
+	if level > e.hist.Horizon() {
+		return
+	}
+	for v := range e.agg {
+		e.hist.Append(VertexID(v), level, e.agg[v])
+	}
+}
+
+// pullLevel re-aggregates affected vertices by pulling their full
+// in-neighborhood — the re-evaluation strategy for non-decomposable
+// aggregations (§3.3). On the first level every vertex pulls; afterwards
+// only out-neighbors of the frontier.
+func (e *Engine[V, A]) pullLevel(first bool, front *frontier.Frontier, touched *bitset.Bitset, edgeWork *parallel.Counter) {
+	n := e.g.NumVertices()
+	var affected []VertexID
+	if first {
+		affected = make([]VertexID, n)
+		for v := range affected {
+			affected[v] = VertexID(v)
+		}
+	} else {
+		seen := bitset.New(n)
+		for _, u := range front.Vertices() {
+			ts, _ := e.g.OutNeighbors(u)
+			for _, t := range ts {
+				seen.Set(t)
+			}
+		}
+		affected = seen.Members(nil)
+	}
+	parallel.ForWorker(len(affected), 64, func(worker, startV, endV int) {
+		var cnt int64
+		for k := startV; k < endV; k++ {
+			v := affected[k]
+			na := e.p.IdentityAgg()
+			us, ws := e.g.InNeighbors(v)
+			for i, u := range us {
+				e.p.Propagate(&na, e.vals[u], u, v, ws[i], e.g.OutDegree(u))
+			}
+			cnt += int64(len(us))
+			e.agg[v] = na
+			if len(us) > 0 {
+				touched.Set(v)
+			}
+		}
+		edgeWork.Add(worker, cnt)
+	})
+}
+
+// runLigra performs full synchronous recomputation: every level
+// re-aggregates every vertex over all in-edges (no selective
+// scheduling), stopping at MaxIterations or when no value changes.
+func (e *Engine[V, A]) runLigra() Stats {
+	var st Stats
+	n := e.g.NumVertices()
+	edgeWork := parallel.NewCounter()
+	prev := make([]V, n)
+	for level := 1; level <= e.opts.MaxIterations; level++ {
+		copy(prev, e.vals)
+		anyChanged := parallel.NewCounter()
+		parallel.ForWorker(n, 64, func(worker, startV, endV int) {
+			var cnt int64
+			for v := startV; v < endV; v++ {
+				vid := VertexID(v)
+				na := e.p.IdentityAgg()
+				us, ws := e.g.InNeighbors(vid)
+				for i, u := range us {
+					e.p.Propagate(&na, prev[u], u, vid, ws[i], e.g.OutDegree(u))
+				}
+				cnt += int64(len(us))
+				e.agg[v] = na
+				nv := e.p.Compute(vid, na)
+				if e.p.Changed(prev[v], nv) {
+					anyChanged.Add(worker, 1)
+				}
+				e.vals[v] = nv
+			}
+			edgeWork.Add(worker, cnt)
+		})
+		st.Iterations++
+		st.VertexComputations += int64(n)
+		e.level = level
+		if anyChanged.Sum() == 0 {
+			break
+		}
+	}
+	st.EdgeComputations = edgeWork.Sum()
+	return st
+}
+
+// ValueAtLevel reconstructs the value a vertex held at the end of the
+// given BSP iteration from the dependency store (tracking modes only;
+// level 0 returns the initial value). Useful for inspecting the tracked
+// trajectory and for tests.
+func (e *Engine[V, A]) ValueAtLevel(v VertexID, level int) V {
+	return e.valueAt(v, level)
+}

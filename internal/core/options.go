@@ -1,0 +1,105 @@
+package core
+
+import "time"
+
+// Mode selects the execution strategy, mirroring the systems compared in
+// the paper's evaluation (§5.1).
+type Mode int
+
+const (
+	// ModeGraphBolt is dependency-driven incremental processing: the
+	// initial run tracks aggregation values, mutations trigger value
+	// refinement (§3.3) followed by hybrid execution past the pruning
+	// horizon (§4.2).
+	ModeGraphBolt Mode = iota
+
+	// ModeGraphBoltRP is ModeGraphBolt with transitive updates issued as
+	// an explicit retract + propagate pair even when the program offers
+	// a single-pass delta — the GraphBolt-RP configuration of Fig. 8.
+	ModeGraphBoltRP
+
+	// ModeReset is the GB-Reset baseline: delta-based selective
+	// scheduling during processing, but computation restarts from
+	// initial values on every mutation. No dependency tracking.
+	ModeReset
+
+	// ModeLigra is the Ligra baseline: full synchronous recomputation —
+	// every iteration re-aggregates every vertex over all in-edges, and
+	// mutations restart the computation.
+	ModeLigra
+
+	// ModeNaive directly reuses converged values across mutations
+	// without refinement, converging to the incorrect S*(G^T, R_G) of
+	// §2.2 — the error baseline of Table 1 and Fig. 2.
+	ModeNaive
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case ModeGraphBolt:
+		return "GraphBolt"
+	case ModeGraphBoltRP:
+		return "GraphBolt-RP"
+	case ModeReset:
+		return "GB-Reset"
+	case ModeLigra:
+		return "Ligra"
+	case ModeNaive:
+		return "Naive"
+	default:
+		return "Unknown"
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Mode selects the execution strategy. Default ModeGraphBolt.
+	Mode Mode
+
+	// MaxIterations bounds every run (initial, post-mutation). The
+	// paper's evaluation uses 10. Default 10.
+	MaxIterations int
+
+	// Horizon is the horizontal-pruning cut-off: aggregation values are
+	// tracked for iterations 1..Horizon only; beyond it the engine
+	// switches to hybrid execution. 0 means MaxIterations (no
+	// horizontal pruning).
+	Horizon int
+
+	// DisableVerticalPruning stores an aggregate snapshot for every
+	// vertex at every tracked iteration instead of only while the
+	// aggregate keeps changing. Costs memory, changes no results.
+	DisableVerticalPruning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 10
+	}
+	if o.Horizon <= 0 || o.Horizon > o.MaxIterations {
+		o.Horizon = o.MaxIterations
+	}
+	return o
+}
+
+// Stats reports the work one engine call performed. Edge computations
+// are the unit Figure 6 and Table 7 report: one Propagate, Retract,
+// delta or pull visit per edge counts 1 (a retract+propagate pair
+// counts 2, as in GraphBolt-RP).
+type Stats struct {
+	Iterations         int
+	EdgeComputations   int64
+	VertexComputations int64
+	RefineIterations   int
+	Duration           time.Duration
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Iterations += other.Iterations
+	s.EdgeComputations += other.EdgeComputations
+	s.VertexComputations += other.VertexComputations
+	s.RefineIterations += other.RefineIterations
+	s.Duration += other.Duration
+}

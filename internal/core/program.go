@@ -1,0 +1,102 @@
+// Package core implements the GraphBolt processing engine: synchronous
+// (BSP) iterative graph computation with selective scheduling,
+// dependency tracking as aggregation values, dependency-driven value
+// refinement on graph mutation, pruning, and computation-aware hybrid
+// execution — the system of §3–§4 of the paper. It also provides the
+// Ligra and GB-Reset baseline execution modes used throughout the
+// evaluation.
+package core
+
+import "repro/internal/graph"
+
+// VertexID aliases the graph package's vertex identifier.
+type VertexID = graph.VertexID
+
+// Program defines a synchronous iterative graph algorithm over vertex
+// values of type V combined through aggregates of type A. It expresses
+// the paper's generalized incremental programming model (§3.3):
+//
+//	д_i(v) = ⊕_{(u,v)∈E} contribution(c_{i-1}(u))   (Propagate = ⊎)
+//	c_i(v) = ∮(д_i(v))                               (Compute)
+//
+// with Retract (⋃-) undoing a contribution, enabling incremental edge
+// deletion and the retract/propagate form of ⋃△. Aggregation must be
+// commutative and associative. Complex aggregations (Belief Propagation,
+// Collaborative Filtering) implement Retract by re-deriving the old
+// discrete contribution from the old source value — the paper's
+// "on-the-fly evaluation of discrete contributions".
+type Program[V, A any] interface {
+	// InitValue returns c_0(v). It must be deterministic.
+	InitValue(v VertexID) V
+
+	// IdentityAgg returns the aggregate of a vertex that has received no
+	// contributions (0 for sums, all-ones for products, +inf for min).
+	IdentityAgg() A
+
+	// Propagate folds the contribution of source value src over edge
+	// (u,v) with weight w into *agg (the ⊎ operator). srcOutDeg is the
+	// out-degree of u in the graph snapshot the contribution belongs to
+	// (old snapshot for re-propagation of old values, new snapshot for
+	// new values), as required by degree-normalized algorithms.
+	Propagate(agg *A, src V, u, v VertexID, w float64, srcOutDeg int)
+
+	// Retract removes a previously propagated contribution (⋃-).
+	// Non-decomposable programs (see Pull) may implement it as a panic;
+	// the engine never calls Retract for them.
+	Retract(agg *A, src V, u, v VertexID, w float64, srcOutDeg int)
+
+	// Compute applies ∮ to produce the vertex value from its aggregate.
+	// It must be a pure function of (v, agg).
+	Compute(v VertexID, agg A) V
+
+	// Changed reports whether the value change is significant enough to
+	// propagate (selective scheduling). Exact inequality gives exact BSP
+	// semantics; a tolerance trades accuracy for work.
+	Changed(oldV, newV V) bool
+
+	// CloneAgg deep-copies an aggregate (identity for value types).
+	CloneAgg(a A) A
+
+	// AggBytes approximates the heap footprint of one aggregate, for the
+	// dependency store's memory accounting (Table 9).
+	AggBytes(a A) int
+}
+
+// DeltaProgram is implemented by programs whose aggregation admits a
+// single-pass change-in-contribution update (simple decomposable
+// aggregations like sums): PropagateDelta(agg, old, new, …) must be
+// equivalent to Retract(old) followed by Propagate(new). The engine uses
+// it to halve edge work; without it (or in the GraphBolt-RP mode of
+// Fig. 8) the engine issues the retract/propagate pair.
+type DeltaProgram[V, A any] interface {
+	PropagateDelta(agg *A, oldSrc, newSrc V, u, v VertexID, w float64, oldSrcOutDeg, newSrcOutDeg int)
+}
+
+// PullProgram marks a program's aggregation as non-decomposable (§3.3
+// "Aggregation Properties & Extensions"): min/max-style aggregates whose
+// value cannot be incrementally adjusted when a contribution is removed.
+// The engine then re-evaluates affected aggregates by pulling the entire
+// updated input set over CSC in-edges instead of applying deltas.
+type PullProgram interface {
+	NonDecomposable()
+}
+
+// DegreeSensitive is implemented by programs whose edge contribution
+// depends on the source's out-degree (PageRank). The engine then treats
+// every vertex whose out-degree changed as a changed source in every
+// refined iteration, so degree renormalization propagates.
+type DegreeSensitive interface {
+	UsesOutDegree() bool
+}
+
+func usesOutDegree[V, A any](p Program[V, A]) bool {
+	if ds, ok := any(p).(DegreeSensitive); ok {
+		return ds.UsesOutDegree()
+	}
+	return false
+}
+
+func isPull[V, A any](p Program[V, A]) bool {
+	_, ok := any(p).(PullProgram)
+	return ok
+}

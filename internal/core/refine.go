@@ -1,0 +1,511 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// ApplyBatch applies a structural mutation batch and brings the computed
+// values up to date for the new snapshot according to the engine mode:
+// dependency-driven refinement (GraphBolt), restart (Ligra/GB-Reset), or
+// direct value reuse (Naive). It returns the work performed by this call.
+func (e *Engine[V, A]) ApplyBatch(b graph.Batch) Stats {
+	start := time.Now()
+	oldG := e.g
+	newG, res := oldG.Apply(b)
+
+	var st Stats
+	switch {
+	case !e.ran:
+		// No prior run: install the new snapshot and compute fresh.
+		e.g = newG
+		st = e.Run()
+		// Run already recorded its own duration/stats.
+		return st
+	case e.opts.Mode == ModeLigra || e.opts.Mode == ModeReset:
+		e.g = newG
+		e.resetState()
+		if e.opts.Mode == ModeLigra {
+			st = e.runLigra()
+		} else {
+			st = e.runDelta(1, nil, e.opts.MaxIterations)
+		}
+	case e.opts.Mode == ModeNaive:
+		st = e.naiveContinue(oldG, newG, res)
+	default: // ModeGraphBolt, ModeGraphBoltRP
+		st = e.refine(oldG, newG, res)
+	}
+	st.Duration = time.Since(start)
+	e.stats.Add(st)
+	return st
+}
+
+// tailFix records a vertex whose history was extended by refinement: if a
+// later level leaves it untouched, the stored tail must be restored so
+// that past-last lookups keep returning the true stabilized aggregate.
+type tailFix[A any] struct {
+	v    VertexID
+	tail A
+}
+
+// refine performs dependency-driven value refinement (§3.3): iterate the
+// tracked levels 1..H, at each level applying the direct impact of added
+// edges (⊎ with old source values), deleted edges (⋃- with old values and
+// weights), and the transitive impact of changed sources (⋃△), then
+// recomputing the affected vertex values. Past the horizon it switches to
+// hybrid execution (§4.2): plain delta-based BSP seeded with the changed
+// sets at the horizon.
+func (e *Engine[V, A]) refine(oldG, newG *graph.Graph, res graph.ApplyResult) Stats {
+	var st Stats
+	e.g = newG
+	n := newG.NumVertices()
+	oldN := oldG.NumVertices()
+	e.grow(n)
+
+	L := e.level
+	H := e.opts.Horizon
+	if H > L {
+		H = L
+	}
+
+	edgeWork := parallel.NewCounter()
+	vertWork := parallel.NewCounter()
+
+	oldOutDeg := func(u VertexID) int {
+		if int(u) < oldN {
+			return oldG.OutDegree(u)
+		}
+		return 0
+	}
+
+	// Vertices whose out-degree changed: for degree-normalized programs
+	// their contribution over every out-edge changes at every level.
+	var degChanged []VertexID
+	if e.deg {
+		seen := map[VertexID]struct{}{}
+		for _, ed := range res.Added {
+			seen[ed.From] = struct{}{}
+		}
+		for _, ed := range res.Deleted {
+			seen[ed.From] = struct{}{}
+		}
+		for u := range seen {
+			if oldOutDeg(u) != newG.OutDegree(u) {
+				degChanged = append(degChanged, u)
+			}
+		}
+	}
+
+	// Rolling stash of OLD values at the previous level for vertices
+	// whose history entry there was overwritten. New values never need
+	// stashing: post-refinement history IS the new run.
+	oldStash := make([]V, n)
+	stashValid := bitset.New(n)
+	nextOldStash := make([]V, n)
+	nextStashValid := bitset.New(n)
+
+	// pending maps extended vertices to their original stabilized tail
+	// aggregate; it is read-only during parallel phases and mutated only
+	// between levels.
+	pending := make(map[VertexID]A)
+
+	aggWork := make([]A, n)
+	aggInit := bitset.New(n)
+
+	var changedPrev []VertexID    // old-vs-new value changed at level i-1
+	workers := parallel.Workers() // for per-worker extension collectors
+
+	touched := bitset.New(n)    // targets updated at the current level
+	touchedAny := bitset.New(n) // union across levels, for the hand-off
+
+	for i := 1; i <= H; i++ {
+		j := i - 1
+		oldValAt := func(u VertexID) V {
+			if stashValid.Get(u) {
+				return oldStash[u]
+			}
+			return e.valueAt(u, j)
+		}
+		// New values at level j are simply post-refinement history.
+		newValAt := func(u VertexID) V { return e.valueAt(u, j) }
+
+		// oldAggAt returns the pre-refinement aggregate at level i.
+		oldAggAt := func(t VertexID) A {
+			if tail, ok := pending[t]; ok {
+				return tail
+			}
+			a, ok := e.hist.Lookup(t, i)
+			if !ok {
+				a = e.p.IdentityAgg()
+			}
+			return a
+		}
+
+		touched.ClearAll()
+
+		if e.pull {
+			e.refinePullLevel(newG, res, changedPrev, degChanged, newValAt, touched, aggWork, edgeWork)
+		} else {
+			// The work aggregate for a touched target starts from the old
+			// aggregate at this level; first touch initializes it under
+			// the target's stripe lock.
+			ensure := func(t VertexID) {
+				if !aggInit.Get(t) {
+					aggWork[t] = e.p.CloneAgg(oldAggAt(t))
+					aggInit.Set(t)
+				}
+			}
+
+			// (a) Direct impact: added edges re-propagate old source
+			// values (⊎); deleted edges retract them (⋃-), both with old
+			// degrees and the deleted edges' original weights.
+			parallel.ForWorker(len(res.Added), 64, func(worker, s, t2 int) {
+				for k := s; k < t2; k++ {
+					ed := res.Added[k]
+					ov := oldValAt(ed.From)
+					e.locks.Lock(ed.To)
+					ensure(ed.To)
+					e.p.Propagate(&aggWork[ed.To], ov, ed.From, ed.To, ed.Weight, oldOutDeg(ed.From))
+					e.locks.Unlock(ed.To)
+					touched.Set(ed.To)
+				}
+				edgeWork.Add(worker, int64(t2-s))
+			})
+			parallel.ForWorker(len(res.Deleted), 64, func(worker, s, t2 int) {
+				for k := s; k < t2; k++ {
+					ed := res.Deleted[k]
+					ov := oldValAt(ed.From)
+					e.locks.Lock(ed.To)
+					ensure(ed.To)
+					e.p.Retract(&aggWork[ed.To], ov, ed.From, ed.To, ed.Weight, oldOutDeg(ed.From))
+					e.locks.Unlock(ed.To)
+					touched.Set(ed.To)
+				}
+				edgeWork.Add(worker, int64(t2-s))
+			})
+
+			// (b) Transitive impact (⋃△): sources whose value (or
+			// out-degree) changed update their contribution over every
+			// out-edge of the new graph.
+			sources := mergeSources(n, changedPrev, degChanged)
+			parallel.ForWorker(len(sources), 16, func(worker, s, t2 int) {
+				var cnt int64
+				for k := s; k < t2; k++ {
+					u := sources[k]
+					ov, nv := oldValAt(u), newValAt(u)
+					odeg, ndeg := oldOutDeg(u), newG.OutDegree(u)
+					ts, ws := newG.OutNeighbors(u)
+					for x, tv := range ts {
+						e.locks.Lock(tv)
+						ensure(tv)
+						if e.delta != nil {
+							e.delta.PropagateDelta(&aggWork[tv], ov, nv, u, tv, ws[x], odeg, ndeg)
+							cnt++
+						} else {
+							e.p.Retract(&aggWork[tv], ov, u, tv, ws[x], odeg)
+							e.p.Propagate(&aggWork[tv], nv, u, tv, ws[x], ndeg)
+							cnt += 2
+						}
+						e.locks.Unlock(tv)
+						touched.Set(tv)
+					}
+				}
+				edgeWork.Add(worker, cnt)
+			})
+		}
+
+		// Compute phase: derive old and new values at this level, store
+		// the refined aggregate, and build the next changed set.
+		members := touched.Members(nil)
+		nextStashValid.ClearAll()
+		changedF := frontier.New(n)
+		extensions := make([][]tailFix[A], workers)
+		parallel.ForWorker(len(members), 64, func(worker, s, t2 int) {
+			for k := s; k < t2; k++ {
+				v := members[k]
+				oldAgg := oldAggAt(v)
+				// Refining at or past the final stored entry destroys the
+				// stabilized tail that lookups beyond it rely on: remember
+				// it so oldAggAt keeps answering correctly and so it can
+				// be restored once the vertex goes untouched again.
+				touchesTail := e.hist.Last(v) <= i
+				_, hadPending := pending[v]
+				oldVal := e.p.Compute(v, oldAgg)
+				newVal := e.p.Compute(v, aggWork[v])
+				e.hist.Append(v, i, aggWork[v])
+				nextOldStash[v] = oldVal
+				nextStashValid.Set(v)
+				if touchesTail && !hadPending {
+					extensions[worker] = append(extensions[worker], tailFix[A]{v, e.p.CloneAgg(oldAgg)})
+				}
+				if e.p.Changed(oldVal, newVal) {
+					changedF.AddAtomic(v)
+				}
+			}
+			vertWork.Add(worker, int64(t2-s))
+		})
+
+		// Tail restores: extended vertices left untouched at this level
+		// revert to their stabilized aggregate from here on; write that
+		// tail at this level and retire them.
+		for v, tail := range pending {
+			if !touched.Get(v) {
+				e.hist.Append(v, i, tail)
+				delete(pending, v)
+			}
+		}
+		for _, list := range extensions {
+			for _, fix := range list {
+				pending[fix.v] = fix.tail
+			}
+		}
+
+		changedPrev = changedF.Vertices()
+		touchedAny.Or(touched)
+		oldStash, nextOldStash = nextOldStash, oldStash
+		stashValid, nextStashValid = nextStashValid, stashValid
+		aggInit.ClearAll()
+		st.RefineIterations++
+	}
+
+	// Hybrid execution (§4.2): materialize the refined state at level H
+	// and continue plain delta-based BSP from H+1. The post-refinement
+	// history *is* the new run for levels ≤ H, so the exact seed — every
+	// vertex whose value changed between levels H-1 and H — falls out of
+	// value reconstructions. (This subsumes the original run's
+	// changed-at-horizon bit-vector and the refinement's changed sets.)
+	//
+	// When the horizon reaches the previous run's depth (H == L, the
+	// common no-horizontal-pruning case), untouched vertices already hold
+	// c_L == c^T_H in vals and д_L == д^T_H in agg, so only refined and
+	// newly added vertices need refreshing — this keeps per-batch work
+	// proportional to the refinement's reach instead of |V|.
+	canContinue := H < e.opts.MaxIterations
+	seed := frontier.New(n)
+	refresh := func(v int) {
+		vid := VertexID(v)
+		e.vals[v] = e.valueAt(vid, H)
+		a, ok := e.hist.Lookup(vid, H)
+		if !ok {
+			a = e.p.IdentityAgg()
+		}
+		e.agg[v] = e.p.CloneAgg(a)
+		if canContinue {
+			prev := e.valueAt(vid, H-1)
+			if e.p.Changed(prev, e.vals[v]) {
+				e.old[v] = prev
+				seed.AddAtomic(vid)
+			}
+		}
+	}
+	if H == L {
+		members := touchedAny.Members(nil)
+		parallel.For(len(members), func(k int) { refresh(int(members[k])) })
+		for v := oldN; v < n; v++ { // vertices added by this batch
+			if !touchedAny.Get(VertexID(v)) {
+				refresh(v)
+			}
+		}
+		if canContinue {
+			// Untouched vertices changed between H-1 and H in the new run
+			// iff they did in the old run; the history frontier tells us
+			// without recomputing values.
+			parallel.For(oldN, func(v int) {
+				vid := VertexID(v)
+				if !touchedAny.Get(vid) && e.hist.Last(vid) == H {
+					prev := e.valueAt(vid, H-1)
+					if e.p.Changed(prev, e.vals[v]) {
+						e.old[v] = prev
+						seed.AddAtomic(vid)
+					}
+				}
+			})
+		}
+	} else {
+		// Horizontal pruning rewound the state to level H < L: every
+		// vertex's value/aggregate must be re-materialized.
+		parallel.For(n, func(v int) { refresh(v) })
+	}
+	e.level = H
+	st2 := e.runDelta(H+1, seed, e.opts.MaxIterations)
+
+	st.EdgeComputations = edgeWork.Sum() + st2.EdgeComputations
+	st.VertexComputations = vertWork.Sum() + st2.VertexComputations
+	st.Iterations = st2.Iterations
+	return st
+}
+
+// refinePullLevel is the non-decomposable path: affected vertices
+// re-aggregate their entire in-neighborhood of the new graph using new
+// source values (§3.3's re-evaluation strategy).
+func (e *Engine[V, A]) refinePullLevel(
+	newG *graph.Graph,
+	res graph.ApplyResult,
+	changedPrev, degChanged []VertexID,
+	newValAt func(VertexID) V,
+	touched *bitset.Bitset,
+	aggWork []A,
+	edgeWork *parallel.Counter,
+) {
+	for _, ed := range res.Added {
+		touched.Set(ed.To)
+	}
+	for _, ed := range res.Deleted {
+		touched.Set(ed.To)
+	}
+	mark := func(us []VertexID) {
+		for _, u := range us {
+			ts, _ := newG.OutNeighbors(u)
+			for _, t := range ts {
+				touched.Set(t)
+			}
+		}
+	}
+	mark(changedPrev)
+	mark(degChanged)
+
+	affected := touched.Members(nil)
+	parallel.ForWorker(len(affected), 64, func(worker, s, t2 int) {
+		var cnt int64
+		for k := s; k < t2; k++ {
+			v := affected[k]
+			na := e.p.IdentityAgg()
+			us, ws := newG.InNeighbors(v)
+			for i, u := range us {
+				e.p.Propagate(&na, newValAt(u), u, v, ws[i], newG.OutDegree(u))
+			}
+			cnt += int64(len(us))
+			aggWork[v] = na
+		}
+		edgeWork.Add(worker, cnt)
+	})
+}
+
+// mergeSources deduplicates the union of two vertex lists.
+func mergeSources(n int, a, b []VertexID) []VertexID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	seen := bitset.New(n)
+	out := make([]VertexID, 0, len(a)+len(b))
+	for _, v := range a {
+		if seen.Set(v) {
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if seen.Set(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// naiveContinue is the incorrect-by-design baseline of §2.2: reuse the
+// converged values directly, folding the structural change into the
+// running aggregates with *current* values, then keep iterating. It
+// converges to S*(G^T, R_G) rather than S*(G^T, I).
+func (e *Engine[V, A]) naiveContinue(oldG, newG *graph.Graph, res graph.ApplyResult) Stats {
+	e.g = newG
+	n := newG.NumVertices()
+	oldN := oldG.NumVertices()
+	e.grow(n)
+
+	edgeWork := parallel.NewCounter()
+	touched := bitset.New(n)
+	oldOutDeg := func(u VertexID) int {
+		if int(u) < oldN {
+			return oldG.OutDegree(u)
+		}
+		return 0
+	}
+
+	if e.pull {
+		for _, ed := range res.Added {
+			touched.Set(ed.To)
+		}
+		for _, ed := range res.Deleted {
+			touched.Set(ed.To)
+		}
+		affected := touched.Members(nil)
+		parallel.ForWorker(len(affected), 64, func(worker, s, t2 int) {
+			var cnt int64
+			for k := s; k < t2; k++ {
+				v := affected[k]
+				na := e.p.IdentityAgg()
+				us, ws := newG.InNeighbors(v)
+				for i, u := range us {
+					e.p.Propagate(&na, e.vals[u], u, v, ws[i], newG.OutDegree(u))
+				}
+				cnt += int64(len(us))
+				e.agg[v] = na
+			}
+			edgeWork.Add(worker, cnt)
+		})
+	} else {
+		for _, ed := range res.Added {
+			e.locks.Lock(ed.To)
+			e.p.Propagate(&e.agg[ed.To], e.vals[ed.From], ed.From, ed.To, ed.Weight, newG.OutDegree(ed.From))
+			e.locks.Unlock(ed.To)
+			touched.Set(ed.To)
+			edgeWork.Add(0, 1)
+		}
+		for _, ed := range res.Deleted {
+			e.locks.Lock(ed.To)
+			e.p.Retract(&e.agg[ed.To], e.vals[ed.From], ed.From, ed.To, ed.Weight, oldOutDeg(ed.From))
+			e.locks.Unlock(ed.To)
+			touched.Set(ed.To)
+			edgeWork.Add(0, 1)
+		}
+		if e.deg {
+			seen := map[VertexID]struct{}{}
+			for _, ed := range res.Added {
+				seen[ed.From] = struct{}{}
+			}
+			for _, ed := range res.Deleted {
+				seen[ed.From] = struct{}{}
+			}
+			for u := range seen {
+				odeg, ndeg := oldOutDeg(u), newG.OutDegree(u)
+				if odeg == ndeg {
+					continue
+				}
+				ts, ws := newG.OutNeighbors(u)
+				for x, t := range ts {
+					e.locks.Lock(t)
+					if e.delta != nil {
+						e.delta.PropagateDelta(&e.agg[t], e.vals[u], e.vals[u], u, t, ws[x], odeg, ndeg)
+					} else {
+						e.p.Retract(&e.agg[t], e.vals[u], u, t, ws[x], odeg)
+						e.p.Propagate(&e.agg[t], e.vals[u], u, t, ws[x], ndeg)
+					}
+					e.locks.Unlock(t)
+					touched.Set(t)
+					edgeWork.Add(0, 1)
+				}
+			}
+		}
+	}
+
+	seed := frontier.New(n)
+	members := touched.Members(nil)
+	for _, v := range members {
+		nv := e.p.Compute(v, e.agg[v])
+		if e.p.Changed(e.vals[v], nv) {
+			e.old[v] = e.vals[v]
+			e.vals[v] = nv
+			seed.AddAtomic(v)
+		}
+	}
+	st := e.runDelta(e.level+1, seed, e.level+e.opts.MaxIterations)
+	st.EdgeComputations += edgeWork.Sum()
+	st.VertexComputations += int64(len(members))
+	return st
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// snapshotVersion guards the checkpoint wire format.
+const snapshotVersion = 1
+
+// engineState is the gob-serialized checkpoint. Value and aggregate
+// types must be gob-encodable (true for all shipped algorithms: floats,
+// float slices, exported structs).
+type engineState[V, A any] struct {
+	Version int
+	Options Options
+
+	Vertices int
+	Edges    []graph.Edge
+
+	Vals  []V
+	Old   []V
+	Agg   []A
+	Hist  [][]A
+	Level int
+	Ran   bool
+	Stats Stats
+}
+
+// WriteSnapshot checkpoints the engine — graph structure, current
+// values, running aggregates and the full dependency store — so a
+// process restart can resume streaming without recomputing the initial
+// run. The program itself is code, not state: the restoring side builds
+// an engine with the same program and calls ReadSnapshot.
+func (e *Engine[V, A]) WriteSnapshot(w io.Writer) error {
+	st := engineState[V, A]{
+		Version:  snapshotVersion,
+		Options:  e.opts,
+		Vertices: e.g.NumVertices(),
+		Edges:    e.g.Edges(nil),
+		Vals:     e.vals,
+		Old:      e.old,
+		Agg:      e.agg,
+		Level:    e.level,
+		Ran:      e.ran,
+		Stats:    e.stats,
+	}
+	if e.hist != nil {
+		st.Hist = e.hist.Export()
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot restores a checkpoint written by WriteSnapshot into this
+// engine, replacing its graph and state. The engine must have been
+// constructed with the same program and compatible options (mode,
+// iteration budget and pruning settings are checked; a mismatch would
+// silently corrupt refinement semantics otherwise).
+func (e *Engine[V, A]) ReadSnapshot(r io.Reader) error {
+	var st engineState[V, A]
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if st.Version != snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, want %d", st.Version, snapshotVersion)
+	}
+	if st.Options != e.opts {
+		return fmt.Errorf("core: snapshot options %+v do not match engine options %+v", st.Options, e.opts)
+	}
+	g, err := graph.Build(st.Vertices, st.Edges)
+	if err != nil {
+		return fmt.Errorf("core: rebuild snapshot graph: %w", err)
+	}
+	if len(st.Vals) != st.Vertices || len(st.Agg) != st.Vertices || len(st.Old) != st.Vertices {
+		return fmt.Errorf("core: snapshot arrays sized %d/%d/%d for %d vertices",
+			len(st.Vals), len(st.Agg), len(st.Old), st.Vertices)
+	}
+	e.g = g
+	e.vals = st.Vals
+	e.old = st.Old
+	e.agg = st.Agg
+	e.level = st.Level
+	e.ran = st.Ran
+	e.stats = st.Stats
+	if e.tracking() {
+		e.resetHistory()
+		if st.Hist != nil {
+			e.hist.Import(st.Hist)
+			e.hist.Grow(st.Vertices)
+		}
+	}
+	return nil
+}

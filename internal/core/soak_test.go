@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// TestSoakLongStreamPageRank drives one engine through a long mutation
+// stream (the paper's §5.1 methodology: load half, stream the rest with
+// deletions mixed in) and cross-checks against scratch every few
+// batches. This exercises repeated refinement over the same history —
+// overwrites of overwrites, tail restores of restored tails — which
+// single-batch tests cannot reach.
+func TestSoakLongStreamPageRank(t *testing.T) {
+	edges := gen.RMAT(91, 300, 4000, gen.WeightUniform)
+	s, err := stream.FromEdges(300, edges, stream.Config{
+		BatchSize: 80, DeleteFraction: 0.3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Batches) < 15 {
+		t.Fatalf("stream too short: %d batches", len(s.Batches))
+	}
+	opts := core.Options{MaxIterations: 10, Horizon: 6}
+	eng, err := core.NewEngine[float64, float64](s.Base, algorithms.NewPageRank(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	for bi, b := range s.Batches {
+		eng.ApplyBatch(b)
+		if bi%4 != 3 {
+			continue
+		}
+		fresh, _ := core.NewEngine[float64, float64](eng.Graph(), algorithms.NewPageRank(),
+			core.Options{Mode: core.ModeReset, MaxIterations: 10})
+		fresh.Run()
+		scalarsMatch(t, eng.Values(), fresh.Values(), 1e-7, "soak PR")
+	}
+}
+
+// TestSoakLongStreamLabelProp is the vector-aggregate analogue, with
+// tolerance-gated selective scheduling layered on (approximate regime):
+// results must stay within a small factor of the tolerance.
+func TestSoakLongStreamLabelProp(t *testing.T) {
+	edges := gen.RMAT(92, 300, 3500, gen.WeightUniform)
+	s, err := stream.FromEdges(300, edges, stream.Config{
+		BatchSize: 60, DeleteFraction: 0.25, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := algorithms.NewLabelProp(3, map[core.VertexID]int{2: 0, 9: 1, 77: 2})
+	opts := core.Options{MaxIterations: 8}
+	eng, err := core.NewEngine[[]float64, []float64](s.Base, lp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	limit := len(s.Batches)
+	if limit > 12 {
+		limit = 12
+	}
+	for bi := 0; bi < limit; bi++ {
+		eng.ApplyBatch(s.Batches[bi])
+		fresh, _ := core.NewEngine[[]float64, []float64](eng.Graph(), lp,
+			core.Options{Mode: core.ModeReset, MaxIterations: 8})
+		fresh.Run()
+		vectorsMatch(t, eng.Values(), fresh.Values(), 1e-7, "soak LP")
+	}
+}
+
+// TestSoakSSSPChurn alternates heavy deletion and insertion batches on a
+// chain-augmented graph where path lengths swing dramatically.
+func TestSoakSSSPChurn(t *testing.T) {
+	var edges []graph.Edge
+	edges = append(edges, gen.Chain(60, gen.WeightSmallInt)...)
+	edges = append(edges, gen.RMAT(93, 60, 200, gen.WeightSmallInt)...)
+	g := graph.MustBuild(60, edges)
+	opts := core.Options{MaxIterations: 300, Horizon: 40}
+	eng, err := core.NewEngine[float64, float64](g, algorithms.NewSSSP(0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	r := gen.NewRNG(17)
+	for round := 0; round < 10; round++ {
+		var b graph.Batch
+		if round%2 == 0 {
+			all := eng.Graph().Edges(nil)
+			for i := 0; i < 20 && len(all) > 0; i++ {
+				e := all[r.Intn(len(all))]
+				b.Del = append(b.Del, graph.Edge{From: e.From, To: e.To})
+			}
+		} else {
+			for i := 0; i < 20; i++ {
+				b.Add = append(b.Add, graph.Edge{
+					From:   graph.VertexID(r.Intn(60)),
+					To:     graph.VertexID(r.Intn(60)),
+					Weight: float64(r.Intn(9) + 1),
+				})
+			}
+		}
+		eng.ApplyBatch(b)
+		fresh, _ := core.NewEngine[float64, float64](eng.Graph(), algorithms.NewSSSP(0),
+			core.Options{Mode: core.ModeReset, MaxIterations: 300})
+		fresh.Run()
+		scalarsMatch(t, eng.Values(), fresh.Values(), 0, "soak SSSP churn")
+	}
+}
+
+// TestStatsAccumulate checks the cumulative statistics plumbing.
+func TestStatsAccumulate(t *testing.T) {
+	g := graph.MustBuild(50, gen.RMAT(94, 50, 300, gen.WeightUnit))
+	eng, _ := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), core.Options{MaxIterations: 5})
+	st1 := eng.Run()
+	st2 := eng.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 1, To: 2, Weight: 1}}})
+	total := eng.TotalStats()
+	if total.EdgeComputations != st1.EdgeComputations+st2.EdgeComputations {
+		t.Fatalf("cumulative edges %d != %d + %d",
+			total.EdgeComputations, st1.EdgeComputations, st2.EdgeComputations)
+	}
+	if total.Duration < st1.Duration {
+		t.Fatal("cumulative duration went backwards")
+	}
+	var s core.Stats
+	s.Add(st1)
+	s.Add(st2)
+	if s.EdgeComputations != total.EdgeComputations {
+		t.Fatal("Stats.Add mismatch")
+	}
+}
+
+// TestRefinementUnderConcurrency re-runs the PR oracle with GOMAXPROCS
+// inflated so the engine's worker-spawning and striped-locking paths
+// execute even on single-CPU machines.
+func TestRefinementUnderConcurrency(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	edges := gen.RMAT(95, 500, 6000, gen.WeightUniform)
+	g := graph.MustBuild(500, edges)
+	opts := core.Options{MaxIterations: 10, Horizon: 6}
+	eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	r := gen.NewRNG(33)
+	for round := 0; round < 5; round++ {
+		var b graph.Batch
+		for i := 0; i < 50; i++ {
+			b.Add = append(b.Add, graph.Edge{
+				From:   graph.VertexID(r.Intn(500)),
+				To:     graph.VertexID(r.Intn(500)),
+				Weight: 1,
+			})
+		}
+		all := eng.Graph().Edges(nil)
+		for i := 0; i < 25; i++ {
+			e := all[r.Intn(len(all))]
+			b.Del = append(b.Del, graph.Edge{From: e.From, To: e.To})
+		}
+		eng.ApplyBatch(b)
+		fresh, _ := core.NewEngine[float64, float64](eng.Graph(), algorithms.NewPageRank(),
+			core.Options{Mode: core.ModeReset, MaxIterations: 10})
+		fresh.Run()
+		scalarsMatch(t, eng.Values(), fresh.Values(), 1e-8, "concurrent refinement")
+	}
+}

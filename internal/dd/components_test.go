@@ -1,0 +1,112 @@
+package dd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// refCC computes min-label components by iteration.
+func refCC(n int, edges []graph.Edge) map[uint32]float64 {
+	lbl := make([]float64, n)
+	for v := range lbl {
+		lbl[v] = float64(v)
+	}
+	for {
+		changed := false
+		for _, e := range edges {
+			if lbl[e.From] < lbl[e.To] {
+				lbl[e.To] = lbl[e.From]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := map[uint32]float64{}
+	for v, l := range lbl {
+		out[uint32(v)] = l
+	}
+	return out
+}
+
+func symmetrize(edges []graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range edges {
+		out = append(out, e, graph.Edge{From: e.To, To: e.From, Weight: e.Weight})
+	}
+	return out
+}
+
+func ccEdges(edges []graph.Edge) []KV[uint32, uint32] {
+	out := make([]KV[uint32, uint32], len(edges))
+	for i, e := range edges {
+		out[i] = KV[uint32, uint32]{e.From, e.To}
+	}
+	return out
+}
+
+func TestComponentsInitial(t *testing.T) {
+	n := 30
+	edges := symmetrize(gen.RMAT(71, n, 60, gen.WeightUnit))
+	verts := make([]uint32, n)
+	for i := range verts {
+		verts[i] = uint32(i)
+	}
+	cc := NewComponents(4 * n)
+	cc.Update(verts, ccEdges(edges), nil)
+	want := refCC(n, edges)
+	got := cc.Labels()
+	for v := 0; v < n; v++ {
+		if got[uint32(v)] != want[uint32(v)] {
+			t.Fatalf("v%d: %v vs %v", v, got[uint32(v)], want[uint32(v)])
+		}
+	}
+}
+
+// Property: incremental component labels match the reference across
+// epochs with symmetric insertions and deletions (deletions can split
+// components — the hard direction).
+func TestQuickComponentsEpochs(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := gen.NewRNG(seed)
+		n := 5 + r.Intn(20)
+		base := symmetrize(gen.RMAT(seed, n, r.Intn(3*n), gen.WeightUnit))
+		verts := make([]uint32, n)
+		for i := range verts {
+			verts[i] = uint32(i)
+		}
+		cc := NewComponents(4 * n)
+		cc.Update(verts, ccEdges(base), nil)
+		current := append([]graph.Edge(nil), base...)
+		for epoch := 0; epoch < 1+r.Intn(3); epoch++ {
+			var adds, dels []graph.Edge
+			for i := 0; i < r.Intn(4); i++ {
+				e := graph.Edge{From: graph.VertexID(r.Intn(n)), To: graph.VertexID(r.Intn(n)), Weight: 1}
+				adds = append(adds, e, graph.Edge{From: e.To, To: e.From, Weight: 1})
+			}
+			for i := 0; i < r.Intn(4) && len(current) >= 2; i++ {
+				k := r.Intn(len(current) / 2)
+				dels = append(dels, current[2*k], current[2*k+1])
+				current = append(current[:2*k], current[2*k+2:]...)
+			}
+			current = append(current, adds...)
+			cc.Update(nil, ccEdges(adds), ccEdges(dels))
+			want := refCC(n, current)
+			got := cc.Labels()
+			for v := 0; v < n; v++ {
+				if got[uint32(v)] != want[uint32(v)] {
+					t.Logf("seed %d epoch %d v%d: %v vs %v", seed, epoch, v, got[uint32(v)], want[uint32(v)])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

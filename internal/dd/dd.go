@@ -1,0 +1,195 @@
+// Package dd is a from-scratch miniature differential dataflow runtime
+// (McSherry et al., CIDR'13), the generalized incremental-processing
+// system GraphBolt is compared against in §5.4(A). It models collections
+// as multisets evolving along two dimensions — input epochs and loop
+// iterations — and implements the differential operators (map, join,
+// reduce) as stateful nodes that consume and emit multiset diffs. Loops
+// keep one operator instance per iteration, mirroring DD's per-timestamp
+// arrangements; that generic trace state is exactly the overhead the
+// paper's graph-specialized engine avoids.
+//
+// The runtime is single-threaded and favors clarity: the evaluation's
+// claim it supports is qualitative (a generic diff engine does more
+// bookkeeping per update than a graph-aware one), not absolute numbers.
+package dd
+
+// Diff is a signed multiset update: Delta copies of Rec appear (positive)
+// or disappear (negative).
+type Diff[T comparable] struct {
+	Rec   T
+	Delta int
+}
+
+// Multiset is a counted set; absent keys have count zero.
+type Multiset[T comparable] map[T]int
+
+// Apply folds a diff into the multiset, dropping zeroed entries.
+func (m Multiset[T]) Apply(d Diff[T]) {
+	c := m[d.Rec] + d.Delta
+	if c == 0 {
+		delete(m, d.Rec)
+	} else {
+		m[d.Rec] = c
+	}
+}
+
+// ApplyAll folds a batch of diffs.
+func (m Multiset[T]) ApplyAll(ds []Diff[T]) {
+	for _, d := range ds {
+		m.Apply(d)
+	}
+}
+
+// KV is a keyed record.
+type KV[K comparable, V comparable] struct {
+	Key K
+	Val V
+}
+
+// Join is an incremental binary equi-join: output diffs are the bilinear
+// expansion dL⋈R + L⋈dR + dL⋈dR, maintained against cached keyed
+// multisets of both inputs (DD's arrangements).
+type Join[K comparable, A comparable, B comparable, O comparable] struct {
+	left  map[K]Multiset[A]
+	right map[K]Multiset[B]
+	f     func(K, A, B) O
+
+	// Work counts record-pair inspections, the DD analogue of edge
+	// computations.
+	Work int64
+}
+
+// NewJoin builds a join with output function f.
+func NewJoin[K comparable, A comparable, B comparable, O comparable](f func(K, A, B) O) *Join[K, A, B, O] {
+	return &Join[K, A, B, O]{
+		left:  map[K]Multiset[A]{},
+		right: map[K]Multiset[B]{},
+		f:     f,
+	}
+}
+
+// Update consumes diffs on both inputs and returns output diffs. The
+// left diffs are matched against the pre-update right trace, then folded
+// in; right diffs then see the updated left, which accounts for the
+// dL⋈dR term exactly once.
+func (j *Join[K, A, B, O]) Update(dl []Diff[KV[K, A]], dr []Diff[KV[K, B]]) []Diff[O] {
+	acc := map[O]int{}
+	for _, d := range dl {
+		for b, bc := range j.right[d.Rec.Key] {
+			acc[j.f(d.Rec.Key, d.Rec.Val, b)] += d.Delta * bc
+			j.Work++
+		}
+		g := j.left[d.Rec.Key]
+		if g == nil {
+			g = Multiset[A]{}
+			j.left[d.Rec.Key] = g
+		}
+		g.Apply(Diff[A]{d.Rec.Val, d.Delta})
+		if len(g) == 0 {
+			delete(j.left, d.Rec.Key)
+		}
+	}
+	for _, d := range dr {
+		for a, ac := range j.left[d.Rec.Key] {
+			acc[j.f(d.Rec.Key, a, d.Rec.Val)] += ac * d.Delta
+			j.Work++
+		}
+		g := j.right[d.Rec.Key]
+		if g == nil {
+			g = Multiset[B]{}
+			j.right[d.Rec.Key] = g
+		}
+		g.Apply(Diff[B]{d.Rec.Val, d.Delta})
+		if len(g) == 0 {
+			delete(j.right, d.Rec.Key)
+		}
+	}
+	return compact(acc)
+}
+
+// Reduce is an incremental grouping operator: it caches each key's input
+// multiset, and for keys touched by a diff batch recomputes the
+// reduction, emitting a retraction of the previous result and an
+// insertion of the new one.
+type Reduce[K comparable, V comparable, O comparable] struct {
+	groups map[K]Multiset[V]
+	out    map[K]O
+	has    map[K]bool
+	// f reduces a non-empty group; ok=false suppresses output (e.g. an
+	// empty group after deletions).
+	f func(K, Multiset[V]) (O, bool)
+
+	// Work counts records inspected during recomputation.
+	Work int64
+}
+
+// NewReduce builds a reduce with reduction function f.
+func NewReduce[K comparable, V comparable, O comparable](f func(K, Multiset[V]) (O, bool)) *Reduce[K, V, O] {
+	return &Reduce[K, V, O]{
+		groups: map[K]Multiset[V]{},
+		out:    map[K]O{},
+		has:    map[K]bool{},
+		f:      f,
+	}
+}
+
+// Update consumes input diffs and emits output diffs for dirty keys.
+func (r *Reduce[K, V, O]) Update(dv []Diff[KV[K, V]]) []Diff[KV[K, O]] {
+	dirty := map[K]struct{}{}
+	for _, d := range dv {
+		g := r.groups[d.Rec.Key]
+		if g == nil {
+			g = Multiset[V]{}
+			r.groups[d.Rec.Key] = g
+		}
+		g.Apply(Diff[V]{d.Rec.Val, d.Delta})
+		if len(g) == 0 {
+			delete(r.groups, d.Rec.Key)
+		}
+		dirty[d.Rec.Key] = struct{}{}
+	}
+	var out []Diff[KV[K, O]]
+	for k := range dirty {
+		var nv O
+		ok := false
+		if g, exists := r.groups[k]; exists && len(g) > 0 {
+			r.Work += int64(len(g))
+			nv, ok = r.f(k, g)
+		}
+		if r.has[k] {
+			if ok && nv == r.out[k] {
+				continue // unchanged
+			}
+			out = append(out, Diff[KV[K, O]]{KV[K, O]{k, r.out[k]}, -1})
+		}
+		if ok {
+			out = append(out, Diff[KV[K, O]]{KV[K, O]{k, nv}, +1})
+			r.out[k] = nv
+			r.has[k] = true
+		} else {
+			delete(r.out, k)
+			delete(r.has, k)
+		}
+	}
+	return out
+}
+
+// MapDiffs applies a stateless transform to a diff batch.
+func MapDiffs[T comparable, O comparable](ds []Diff[T], f func(T) O) []Diff[O] {
+	acc := map[O]int{}
+	for _, d := range ds {
+		acc[f(d.Rec)] += d.Delta
+	}
+	return compact(acc)
+}
+
+// compact turns an accumulator into a diff slice, dropping zero deltas.
+func compact[O comparable](acc map[O]int) []Diff[O] {
+	out := make([]Diff[O], 0, len(acc))
+	for rec, delta := range acc {
+		if delta != 0 {
+			out = append(out, Diff[O]{rec, delta})
+		}
+	}
+	return out
+}

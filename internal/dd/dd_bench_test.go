@@ -1,0 +1,38 @@
+package dd
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkPageRankEpoch(b *testing.B) {
+	n := 2048
+	edges := gen.RMAT(5, n, 16384, gen.WeightUnit)
+	verts := make([]uint32, n)
+	for i := range verts {
+		verts[i] = uint32(i)
+	}
+	pr := NewPageRank(10, 0.85)
+	pr.Update(verts, prEdges(edges), nil)
+	batch := gen.RMAT(6, n, 10, gen.WeightUnit)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Update(nil, prEdges(batch), nil)
+		pr.Update(nil, nil, prEdges(batch))
+	}
+}
+
+func BenchmarkSSSPEpoch(b *testing.B) {
+	n := 2048
+	edges := gen.RMAT(7, n, 16384, gen.WeightSmallInt)
+	s := NewSSSP(0, 4*n)
+	s.Update(ssspEdges(edges), nil)
+	batch := gen.RMAT(8, n, 10, gen.WeightSmallInt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(ssspEdges(batch), nil)
+		s.Update(nil, ssspEdges(batch))
+	}
+}

@@ -1,0 +1,44 @@
+package deps
+
+import "testing"
+
+func BenchmarkAppendScalar(b *testing.B) {
+	s := newFloatStore(1024, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint32(i % 1024)
+		level := i/1024%10 + 1
+		s.Append(v, level, float64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	s := newFloatStore(1024, 10)
+	for v := uint32(0); v < 1024; v++ {
+		for lvl := 1; lvl <= 10; lvl++ {
+			s.Append(v, lvl, float64(lvl))
+		}
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		a, _ := s.Lookup(uint32(i%1024), i%12+1)
+		sink += a
+	}
+	_ = sink
+}
+
+func BenchmarkAppendVector(b *testing.B) {
+	s := New[[]float64](1024, 10,
+		func(a []float64) []float64 { return append([]float64(nil), a...) },
+		func(a []float64) int { return 8 * len(a) },
+		func() []float64 { return make([]float64, 3) },
+	)
+	vec := []float64{1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(uint32(i%1024), i/1024%10+1, vec)
+	}
+}

@@ -1,0 +1,72 @@
+package exps
+
+import (
+	"repro/internal/core"
+)
+
+// Ablation quantifies the engine's design choices beyond the paper's
+// headline numbers:
+//
+//  1. Horizontal pruning: sweeping the horizon trades dependency-store
+//     memory against refinement reach (shallow horizons shift work into
+//     hybrid execution).
+//  2. Vertical pruning: disabling it stores an aggregate per vertex per
+//     iteration — same results, strictly more memory.
+//  3. Single-pass delta (⋃△) vs retract+propagate: the GraphBolt-RP
+//     configuration doubles transitive edge work.
+func Ablation(cfg Config) error {
+	cfg = cfg.withDefaults()
+	spec := cfg.Graphs()[0]
+	s, err := cfg.NewStream(spec, 1000, 0)
+	if err != nil {
+		return err
+	}
+	batch := TakeBatch(s, cfg.scaled(1000))
+	algos := cfg.EngineAlgos(s.Base.NumVertices())
+	pr := algos[0]
+	lp := algos[4]
+
+	cfg.printf("Ablation on %s (V=%d E=%d), batch=%d\n",
+		spec.Name, s.Base.NumVertices(), s.Base.NumEdges(), len(batch.Add)+len(batch.Del))
+
+	// 1. Horizon sweep.
+	cfg.printf("\n(1) horizontal pruning: horizon sweep (LP)\n")
+	cfg.printf("%-9s %12s %12s %14s\n", "horizon", "refine(ms)", "edges", "history(B)")
+	for _, h := range []int{1, 2, cfg.Iterations / 2, cfg.Iterations} {
+		if h < 1 {
+			h = 1
+		}
+		opts := core.Options{MaxIterations: cfg.Iterations, Horizon: h}
+		eng := lp.Build(s.Base, core.ModeGraphBolt, opts)
+		eng.Run()
+		st := eng.ApplyBatch(batch)
+		cfg.printf("%-9d %12.2f %12d %14d\n", h, ms(st.Duration), st.EdgeComputations, eng.HistoryBytes())
+	}
+
+	// 2. Vertical pruning.
+	cfg.printf("\n(2) vertical pruning (LP, horizon=%d)\n", cfg.Iterations)
+	cfg.printf("%-10s %12s %14s\n", "pruning", "refine(ms)", "history(B)")
+	for _, disabled := range []bool{false, true} {
+		opts := core.Options{MaxIterations: cfg.Iterations, DisableVerticalPruning: disabled}
+		eng := lp.Build(s.Base, core.ModeGraphBolt, opts)
+		eng.Run()
+		st := eng.ApplyBatch(batch)
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		cfg.printf("%-10s %12.2f %14d\n", name, ms(st.Duration), eng.HistoryBytes())
+	}
+
+	// 3. Delta vs retract+propagate.
+	cfg.printf("\n(3) transitive update strategy (PR)\n")
+	cfg.printf("%-14s %12s %12s\n", "strategy", "refine(ms)", "edges")
+	for _, mode := range []core.Mode{core.ModeGraphBolt, core.ModeGraphBoltRP} {
+		opts := core.Options{MaxIterations: cfg.Iterations}
+		eng := pr.Build(s.Base, mode, opts)
+		eng.Run()
+		st := eng.ApplyBatch(batch)
+		cfg.printf("%-14s %12.2f %12d\n", mode, ms(st.Duration), st.EdgeComputations)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package exps
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a config small enough for unit tests.
+func tiny() (Config, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return Config{Scale: 0.02, Iterations: 5, Seed: 9, Out: &buf}, &buf
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, buf := tiny()
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("table5"); !ok {
+		t.Fatal("table5 missing")
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Fatal("nonsense found")
+	}
+	if len(Names()) != len(All()) {
+		t.Fatal("Names/All mismatch")
+	}
+}
+
+func TestTable1ErrorsGrowAcrossBatches(t *testing.T) {
+	cfg, buf := tiny()
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the >1% column; it must be non-zero from the first batch
+	// (naive reuse is wrong immediately).
+	re := regexp.MustCompile(`B\d+\s+(\d+)\s+(\d+)`)
+	rows := re.FindAllStringSubmatch(buf.String(), -1)
+	if len(rows) != 10 {
+		t.Fatalf("expected 10 batch rows, got %d:\n%s", len(rows), buf.String())
+	}
+	first, _ := strconv.Atoi(rows[0][2])
+	if first == 0 {
+		t.Fatalf("naive reuse produced zero >1%% errors on batch 1:\n%s", buf.String())
+	}
+}
+
+func TestFigure2NaiveDiffersGraphBoltMatches(t *testing.T) {
+	cfg, buf := tiny()
+	if err := Figure2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "naive differs from scratch: true") {
+		t.Fatalf("naive reuse did not diverge:\n%s", out)
+	}
+	if !strings.Contains(out, "GraphBolt matches scratch: true") {
+		t.Fatalf("GraphBolt refinement did not match scratch:\n%s", out)
+	}
+}
+
+func TestFigure4ValuesStabilize(t *testing.T) {
+	cfg, buf := tiny()
+	if err := Figure4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^(\d+)\s+(\d+)`)
+	rows := re.FindAllStringSubmatch(buf.String(), -1)
+	if len(rows) < 3 {
+		t.Fatalf("too few iteration rows:\n%s", buf.String())
+	}
+	first, _ := strconv.Atoi(rows[0][2])
+	last, _ := strconv.Atoi(rows[len(rows)-1][2])
+	if last >= first {
+		t.Fatalf("change counts did not decay: first=%d last=%d\n%s", first, last, buf.String())
+	}
+}
+
+func TestFigure6GraphBoltDoesLessWork(t *testing.T) {
+	cfg, buf := tiny()
+	if err := Figure6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental processing wins when the batch is small relative to
+	// the graph (the paper's regime: graphs are orders of magnitude
+	// larger than batches); at this tiny test scale only the smallest
+	// batch column is in that regime, so assert the ratio there.
+	re := regexp.MustCompile(`^(\S+)\s+(\S+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+\.\d+)\s*$`)
+	below, total := 0, 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := re.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		batch, _ := strconv.Atoi(m[3])
+		if batch > 100 {
+			continue
+		}
+		ratio, _ := strconv.ParseFloat(m[6], 64)
+		total++
+		if ratio < 1 {
+			below++
+		}
+	}
+	if total == 0 {
+		t.Fatalf("no ratio rows:\n%s", buf.String())
+	}
+	if below*3 < total*2 {
+		t.Fatalf("only %d/%d ratios below 1:\n%s", below, total, buf.String())
+	}
+}
+
+func TestTakeBatchTrims(t *testing.T) {
+	cfg, _ := tiny()
+	s, err := cfg.NewStream(cfg.Graphs()[0], 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := TakeBatch(s, 73)
+	if got := len(b.Add) + len(b.Del); got != 73 {
+		t.Fatalf("batch size = %d, want 73", got)
+	}
+	huge := TakeBatch(s, 1<<30)
+	if len(huge.Add) == 0 {
+		t.Fatal("huge batch empty")
+	}
+}

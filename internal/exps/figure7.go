@@ -1,0 +1,70 @@
+package exps
+
+import (
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Figure7 sweeps the mutation batch size from a single edge up to the
+// paper's 1M (scaled, and capped by the stream's available mutations),
+// comparing GB-Reset with GraphBolt on the TT and FT stand-ins for every
+// algorithm. The expected shape: GraphBolt's time grows with batch size
+// but stays below GB-Reset even at the largest batches.
+func Figure7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sizes := []int{1, 10, 100, cfg.scaled(1000), cfg.scaled(10000), cfg.scaled(100000), cfg.scaled(1000000)}
+	opts := core.Options{MaxIterations: cfg.Iterations}
+	cfg.printf("Figure 7: execution time vs mutation batch size (ms)\n")
+	cfg.printf("%-5s %-5s %9s | %9s %9s\n", "algo", "graph", "batch", "GB-Reset", "GraphBolt")
+	for _, spec := range []GraphSpec{cfg.Graphs()[3], cfg.Graphs()[4]} { // TT, FT
+		s, err := cfg.NewStream(spec, 1000, 0)
+		if err != nil {
+			return err
+		}
+		for _, size := range sizes {
+			batch := TakeBatch(s, size)
+			actual := len(batch.Add) + len(batch.Del)
+			if actual == 0 {
+				continue
+			}
+			for _, a := range cfg.EngineAlgos(s.Base.NumVertices()) {
+				rst := MeasureMutation(a, s.Base, core.ModeReset, opts, batch)
+				gb := MeasureMutation(a, s.Base, core.ModeGraphBolt, opts, batch)
+				cfg.printf("%-5s %-5s %9d | %9.2f %9.2f\n",
+					a.Name, spec.Name, actual, ms(rst.Duration), ms(gb.Duration))
+			}
+			tc := measureTC(s.Base, batch, spec.Name, actual)
+			cfg.printf("%-5s %-5s %9d | %9.2f %9.2f\n",
+				"TC", spec.Name, actual, ms(tc.Reset), ms(tc.GraphBolt))
+		}
+	}
+	return nil
+}
+
+// Table8 contrasts Hi (mutations at high out-degree vertices) and Lo
+// (low out-degree) workloads for GraphBolt (§5.3B). Hi must cost more.
+func Table8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	size := cfg.scaled(10000)
+	opts := core.Options{MaxIterations: cfg.Iterations}
+	cfg.printf("Table 8: GraphBolt with Hi vs Lo mutation workloads (batch=%d; ms)\n", size)
+	cfg.printf("%-5s %-5s | %9s %9s\n", "algo", "graph", "Lo", "Hi")
+	for _, spec := range []GraphSpec{cfg.Graphs()[3], cfg.Graphs()[4]} { // TT, FT
+		s, err := cfg.NewStream(spec, 1000, 0)
+		if err != nil {
+			return err
+		}
+		lo := stream.HiLoBatch(s.Base, stream.WorkloadLo, size, 0.25, cfg.Seed+7)
+		hi := stream.HiLoBatch(s.Base, stream.WorkloadHi, size, 0.25, cfg.Seed+7)
+		for _, a := range cfg.EngineAlgos(s.Base.NumVertices()) {
+			loRes := MeasureMutation(a, s.Base, core.ModeGraphBolt, opts, lo)
+			hiRes := MeasureMutation(a, s.Base, core.ModeGraphBolt, opts, hi)
+			cfg.printf("%-5s %-5s | %9.2f %9.2f\n", a.Name, spec.Name, ms(loRes.Duration), ms(hiRes.Duration))
+		}
+		// TC under the same workloads.
+		loTC := measureTC(s.Base, lo, spec.Name, size)
+		hiTC := measureTC(s.Base, hi, spec.Name, size)
+		cfg.printf("%-5s %-5s | %9.2f %9.2f\n", "TC", spec.Name, ms(loTC.GraphBolt), ms(hiTC.GraphBolt))
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package exps
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kickstarter"
+)
+
+// ddEdges converts to the DD PageRank edge representation.
+func ddEdges(es []graph.Edge) []dd.KV[uint32, uint32] {
+	out := make([]dd.KV[uint32, uint32], len(es))
+	for i, e := range es {
+		out[i] = dd.KV[uint32, uint32]{Key: e.From, Val: e.To}
+	}
+	return out
+}
+
+func ddWeighted(es []graph.Edge) []dd.KV[uint32, dd.WeightedEdge] {
+	out := make([]dd.KV[uint32, dd.WeightedEdge], len(es))
+	for i, e := range es {
+		out[i] = dd.KV[uint32, dd.WeightedEdge]{Key: e.From, Val: dd.WeightedEdge{Dst: e.To, Weight: e.Weight}}
+	}
+	return out
+}
+
+// Figure8 compares PageRank on the TT stand-in across batch sizes:
+// Differential Dataflow vs GraphBolt vs GraphBolt-RP. Expected shape:
+// GraphBolt fastest, GraphBolt-RP close behind (two values per change),
+// DD slowest (generic per-operator trace maintenance).
+func Figure8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	spec := cfg.Graphs()[3] // TT
+	sizes := []int{1, 10, 100, cfg.scaled(1000), cfg.scaled(10000)}
+	opts := core.Options{MaxIterations: cfg.Iterations}
+
+	cfg.printf("Figure 8a: PageRank, DD vs GraphBolt vs GraphBolt-RP (ms)\n")
+	cfg.printf("%-9s | %12s %12s %12s\n", "batch", "DD", "GraphBolt", "GraphBolt-RP")
+	for _, size := range sizes {
+		s, err := cfg.NewStream(spec, 1000, 0)
+		if err != nil {
+			return err
+		}
+		batch := TakeBatch(s, size)
+		pr := Algo{"PR", wrap[float64, float64](algorithms.NewPageRank())}
+		gb := MeasureMutation(pr, s.Base, core.ModeGraphBolt, opts, batch)
+		rp := MeasureMutation(pr, s.Base, core.ModeGraphBoltRP, opts, batch)
+
+		flow := dd.NewPageRank(cfg.Iterations, 0.85)
+		verts := make([]uint32, s.Base.NumVertices())
+		for i := range verts {
+			verts[i] = uint32(i)
+		}
+		flow.Update(verts, ddEdges(s.Base.Edges(nil)), nil)
+		start := time.Now()
+		flow.Update(nil, ddEdges(batch.Add), ddEdges(batch.Del))
+		ddTime := time.Since(start)
+
+		cfg.printf("%-9d | %12.2f %12.2f %12.2f\n", size, ms(ddTime), ms(gb.Duration), ms(rp.Duration))
+	}
+	return nil
+}
+
+// Figure8b measures the variance over 100 consecutive single-edge
+// mutations for DD and GraphBolt. Expected shape: GraphBolt's per-edge
+// latencies cluster tightly; DD's vary widely with each change's reach.
+func Figure8b(cfg Config) error {
+	cfg = cfg.withDefaults()
+	spec := cfg.Graphs()[3]
+	s, err := cfg.NewStream(spec, 1, 100)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{MaxIterations: cfg.Iterations, Mode: core.ModeGraphBolt}
+
+	eng, err := core.NewEngine[float64, float64](s.Base, algorithms.NewPageRank(), opts)
+	if err != nil {
+		return err
+	}
+	eng.Run()
+	flow := dd.NewPageRank(cfg.Iterations, 0.85)
+	verts := make([]uint32, s.Base.NumVertices())
+	for i := range verts {
+		verts[i] = uint32(i)
+	}
+	flow.Update(verts, ddEdges(s.Base.Edges(nil)), nil)
+
+	var gbTimes, ddTimes []float64
+	for _, b := range s.Batches {
+		start := time.Now()
+		eng.ApplyBatch(b)
+		gbTimes = append(gbTimes, ms(time.Since(start)))
+		start = time.Now()
+		flow.Update(nil, ddEdges(b.Add), ddEdges(b.Del))
+		ddTimes = append(ddTimes, ms(time.Since(start)))
+	}
+	cfg.printf("Figure 8b: 100 single-edge mutations, per-mutation latency (ms)\n")
+	cfg.printf("%-10s %8s %8s %8s %8s\n", "system", "mean", "min", "max", "stddev")
+	mg, ng, xg, sg := summarize(gbTimes)
+	md, nd, xd, sd := summarize(ddTimes)
+	cfg.printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", "GraphBolt", mg, ng, xg, sg)
+	cfg.printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", "DD", md, nd, xd, sd)
+	return nil
+}
+
+func summarize(xs []float64) (mean, min, max, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		stddev += (x - mean) * (x - mean)
+	}
+	stddev = math.Sqrt(stddev / float64(len(xs)))
+	return mean, min, max, stddev
+}
+
+// Figure9 compares SSSP across batch sizes: KickStarter vs GraphBolt's
+// min re-evaluation vs DD, (a) with deletions mixed in, (b) additions
+// only. Expected shapes: KickStarter wins overall (trimmed
+// approximations, no BSP guarantee); with additions only, KickStarter
+// and GraphBolt converge since min needs no re-evaluation.
+func Figure9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	spec := cfg.Graphs()[3]
+	sizes := []int{1, 10, 100, cfg.scaled(1000), cfg.scaled(10000)}
+
+	for _, part := range []struct {
+		name    string
+		delFrac float64
+	}{
+		{"Figure 9a: SSSP with additions + deletions", 0.25},
+		{"Figure 9b: SSSP with additions only", 0},
+	} {
+		cfg.printf("%s (ms)\n", part.name)
+		cfg.printf("%-9s | %12s %12s %12s\n", "batch", "KickStarter", "GraphBolt", "DD")
+		for _, size := range sizes {
+			s, err := cfg.NewStreamOpts(spec, 1000, 0, gen.WeightSmallInt, part.delFrac)
+			if err != nil {
+				return err
+			}
+			batch := TakeBatch(s, size)
+			n := s.Base.NumVertices()
+
+			ks := kickstarter.NewSSSP(s.Base, 0)
+			start := time.Now()
+			ks.ApplyBatch(batch)
+			ksTime := time.Since(start)
+
+			ssspAlgo := Algo{"SSSP", wrap[float64, float64](algorithms.NewSSSP(0))}
+			gb := MeasureMutation(ssspAlgo, s.Base, core.ModeGraphBolt,
+				core.Options{MaxIterations: 4 * n, Horizon: 64}, batch)
+
+			flow := dd.NewSSSP(0, 4*n)
+			flow.Update(ddWeighted(s.Base.Edges(nil)), nil)
+			start = time.Now()
+			flow.Update(ddWeighted(batch.Add), ddWeighted(delWithWeights(s.Base, batch.Del)))
+			ddTime := time.Since(start)
+
+			cfg.printf("%-9d | %12.2f %12.2f %12.2f\n", size, ms(ksTime), ms(gb.Duration), ms(ddTime))
+		}
+	}
+	return nil
+}
+
+// delWithWeights resolves deletion requests to concrete weighted edges
+// against the snapshot (the DD collection is keyed by exact records).
+func delWithWeights(g *graph.Graph, dels []graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, 0, len(dels))
+	for _, d := range dels {
+		if w, ok := g.EdgeWeight(d.From, d.To); ok {
+			out = append(out, graph.Edge{From: d.From, To: d.To, Weight: w})
+		}
+	}
+	return out
+}

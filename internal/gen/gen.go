@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// Weighting selects how edge weights are assigned.
+type Weighting int
+
+const (
+	// WeightUnit gives every edge weight 1.
+	WeightUnit Weighting = iota
+	// WeightUniform gives weights uniform in (0, 1].
+	WeightUniform
+	// WeightSmallInt gives integer weights in [1, 10] (useful for SSSP).
+	WeightSmallInt
+)
+
+func (w Weighting) weight(r *RNG) float64 {
+	switch w {
+	case WeightUniform:
+		return 1 - r.Float64() // (0, 1]
+	case WeightSmallInt:
+		return float64(r.Intn(10) + 1)
+	default:
+		return 1
+	}
+}
+
+// RMAT generates a recursive-matrix (Kronecker) graph with the classic
+// skewed parameters a=0.57 b=0.19 c=0.19 d=0.05, the shape of the
+// power-law web/social graphs in the paper's Table 2. n is rounded up to
+// a power of two internally; emitted vertex ids stay < n via re-draw.
+func RMAT(seed uint64, n, m int, w Weighting) []graph.Edge {
+	return RMATParams(seed, n, m, 0.57, 0.19, 0.19, w)
+}
+
+// RMATParams is RMAT with explicit quadrant probabilities a, b, c
+// (d = 1-a-b-c).
+func RMATParams(seed uint64, n, m int, a, b, c float64, w Weighting) []graph.Edge {
+	r := NewRNG(seed)
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := 0, 0
+		for l := 0; l < levels; l++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+b:
+				v |= 1 << l
+			case p < a+b+c:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		if u >= n || v >= n {
+			continue
+		}
+		edges = append(edges, graph.Edge{From: graph.VertexID(u), To: graph.VertexID(v), Weight: w.weight(r)})
+	}
+	return edges
+}
+
+// Uniform generates m edges with independently uniform endpoints — the
+// Erdős–Rényi contrast case (no skew, so pruning pays off less).
+func Uniform(seed uint64, n, m int, w Weighting) []graph.Edge {
+	r := NewRNG(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			From:   graph.VertexID(r.Intn(n)),
+			To:     graph.VertexID(r.Intn(n)),
+			Weight: w.weight(r),
+		}
+	}
+	return edges
+}
+
+// Chain generates the path 0→1→…→n-1, a worst case for incremental
+// propagation depth (every mutation's impact is maximally transitive).
+func Chain(n int, w Weighting) []graph.Edge {
+	r := NewRNG(1)
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{From: graph.VertexID(i), To: graph.VertexID(i + 1), Weight: w.weight(r)})
+	}
+	return edges
+}
+
+// Grid generates a directed 2D grid of rows×cols vertices with right and
+// down edges — a bounded-degree planar contrast case.
+func Grid(rows, cols int, w Weighting) []graph.Edge {
+	r := NewRNG(2)
+	var edges []graph.Edge
+	id := func(i, j int) graph.VertexID { return graph.VertexID(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				edges = append(edges, graph.Edge{From: id(i, j), To: id(i, j+1), Weight: w.weight(r)})
+			}
+			if i+1 < rows {
+				edges = append(edges, graph.Edge{From: id(i, j), To: id(i+1, j), Weight: w.weight(r)})
+			}
+		}
+	}
+	return edges
+}
+
+// Bipartite generates a user→item bipartite graph (users [0, users),
+// items [users, users+items)) with RMAT-skewed user activity, the shape
+// Collaborative Filtering runs on.
+func Bipartite(seed uint64, users, items, m int, w Weighting) []graph.Edge {
+	r := NewRNG(seed)
+	edges := make([]graph.Edge, 0, 2*m)
+	for len(edges) < 2*m {
+		// Skew user choice: square the uniform draw toward low ids.
+		uf := r.Float64()
+		u := int(uf * uf * float64(users))
+		if u >= users {
+			u = users - 1
+		}
+		it := users + r.Intn(items)
+		wt := w.weight(r)
+		// CF uses undirected interactions: emit both directions.
+		edges = append(edges,
+			graph.Edge{From: graph.VertexID(u), To: graph.VertexID(it), Weight: wt},
+			graph.Edge{From: graph.VertexID(it), To: graph.VertexID(u), Weight: wt},
+		)
+	}
+	return edges
+}
+
+// PreferentialAttachment generates a Barabási–Albert graph: vertices
+// arrive one at a time and attach k out-edges to existing vertices with
+// probability proportional to their current degree — the generative
+// model behind the power laws RMAT imitates. Useful as an alternative
+// skewed substrate for ablations.
+func PreferentialAttachment(seed uint64, n, k int, w Weighting) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	r := NewRNG(seed)
+	// endpoints holds one entry per edge endpoint; sampling uniformly
+	// from it is degree-proportional sampling.
+	endpoints := []graph.VertexID{0}
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		attach := k
+		if v < k {
+			attach = v
+		}
+		chosen := map[graph.VertexID]struct{}{}
+		for len(chosen) < attach {
+			t := endpoints[r.Intn(len(endpoints))]
+			if int(t) == v {
+				continue
+			}
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			edges = append(edges, graph.Edge{From: graph.VertexID(v), To: t, Weight: w.weight(r)})
+			endpoints = append(endpoints, graph.VertexID(v), t)
+		}
+	}
+	return edges
+}
+
+// SmallWorld generates a Watts–Strogatz graph: a ring lattice where each
+// vertex points at its k clockwise neighbors, with each edge's target
+// rewired uniformly at random with probability beta. Low diameter with
+// high clustering — the regime where transitive mutation impact spreads
+// fastest.
+func SmallWorld(seed uint64, n, k int, beta float64, w Weighting) []graph.Edge {
+	r := NewRNG(seed)
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			t := (v + j) % n
+			if beta > 0 && r.Float64() < beta {
+				for {
+					t = r.Intn(n)
+					if t != v {
+						break
+					}
+				}
+			}
+			edges = append(edges, graph.Edge{From: graph.VertexID(v), To: graph.VertexID(t), Weight: w.weight(r)})
+		}
+	}
+	return edges
+}

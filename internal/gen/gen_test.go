@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds collided immediately")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck generator")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	p := NewRNG(3).Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	edges := RMAT(1, 1024, 8192, WeightUnit)
+	if len(edges) != 8192 {
+		t.Fatalf("edge count = %d", len(edges))
+	}
+	g := graph.MustBuild(1024, edges)
+	// Skew check: the max out-degree should far exceed the average.
+	maxDeg := 0
+	for v := 0; v < 1024; v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 8192 / 1024
+	if maxDeg < 4*avg {
+		t.Fatalf("RMAT not skewed: max=%d avg=%d", maxDeg, avg)
+	}
+	// Determinism.
+	edges2 := RMAT(1, 1024, 8192, WeightUnit)
+	for i := range edges {
+		if edges[i] != edges2[i] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+}
+
+func TestRMATRespectsVertexBound(t *testing.T) {
+	n := 1000 // not a power of two
+	for _, e := range RMAT(5, n, 5000, WeightUniform) {
+		if int(e.From) >= n || int(e.To) >= n {
+			t.Fatalf("edge (%d,%d) out of range", e.From, e.To)
+		}
+	}
+}
+
+func TestWeightings(t *testing.T) {
+	for _, e := range RMAT(9, 256, 1000, WeightUnit) {
+		if e.Weight != 1 {
+			t.Fatal("unit weight violated")
+		}
+	}
+	for _, e := range RMAT(9, 256, 1000, WeightUniform) {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Fatalf("uniform weight out of (0,1]: %v", e.Weight)
+		}
+	}
+	for _, e := range RMAT(9, 256, 1000, WeightSmallInt) {
+		if e.Weight < 1 || e.Weight > 10 || e.Weight != float64(int(e.Weight)) {
+			t.Fatalf("small-int weight bad: %v", e.Weight)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	edges := Uniform(4, 100, 500, WeightUnit)
+	if len(edges) != 500 {
+		t.Fatalf("edge count = %d", len(edges))
+	}
+	for _, e := range edges {
+		if int(e.From) >= 100 || int(e.To) >= 100 {
+			t.Fatal("endpoint out of range")
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	edges := Chain(5, WeightUnit)
+	if len(edges) != 4 {
+		t.Fatalf("chain edges = %d", len(edges))
+	}
+	for i, e := range edges {
+		if int(e.From) != i || int(e.To) != i+1 {
+			t.Fatalf("chain edge %d = %v", i, e)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	edges := Grid(3, 4, WeightUnit)
+	// right edges: 3*(4-1)=9, down edges: (3-1)*4=8
+	if len(edges) != 17 {
+		t.Fatalf("grid edges = %d, want 17", len(edges))
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	users, items := 50, 20
+	edges := Bipartite(6, users, items, 300, WeightUniform)
+	if len(edges) < 600 {
+		t.Fatalf("bipartite edges = %d", len(edges))
+	}
+	for i := 0; i < len(edges); i += 2 {
+		fwd, back := edges[i], edges[i+1]
+		if fwd.From != back.To || fwd.To != back.From || fwd.Weight != back.Weight {
+			t.Fatal("bipartite reverse edge mismatch")
+		}
+		if int(fwd.From) >= users || int(fwd.To) < users || int(fwd.To) >= users+items {
+			t.Fatalf("bipartite edge crosses wrong sides: %v", fwd)
+		}
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	n, k := 500, 3
+	edges := PreferentialAttachment(13, n, k, WeightUnit)
+	g := graph.MustBuild(n, edges)
+	// Every vertex after the k-th attaches exactly k edges.
+	for v := k + 1; v < n; v++ {
+		if g.OutDegree(graph.VertexID(v)) != k {
+			t.Fatalf("vertex %d out-degree %d, want %d", v, g.OutDegree(graph.VertexID(v)), k)
+		}
+	}
+	// Rich-get-richer: early vertices accumulate far more in-edges.
+	early, late := 0, 0
+	for v := 0; v < 10; v++ {
+		early += g.InDegree(graph.VertexID(v))
+	}
+	for v := n - 10; v < n; v++ {
+		late += g.InDegree(graph.VertexID(v))
+	}
+	if early <= 4*late {
+		t.Fatalf("no preferential attachment skew: early=%d late=%d", early, late)
+	}
+	// No self loops.
+	for _, e := range edges {
+		if e.From == e.To {
+			t.Fatal("self loop emitted")
+		}
+	}
+}
+
+func TestPreferentialAttachmentTiny(t *testing.T) {
+	if got := PreferentialAttachment(1, 1, 3, WeightUnit); got != nil {
+		t.Fatalf("n=1 should have no edges, got %v", got)
+	}
+	edges := PreferentialAttachment(1, 2, 3, WeightUnit)
+	if len(edges) != 1 {
+		t.Fatalf("n=2: %d edges, want 1", len(edges))
+	}
+}
+
+func TestSmallWorldLattice(t *testing.T) {
+	// beta=0: pure ring lattice, deterministic targets.
+	edges := SmallWorld(3, 10, 2, 0, WeightUnit)
+	if len(edges) != 20 {
+		t.Fatalf("edges = %d, want 20", len(edges))
+	}
+	g := graph.MustBuild(10, edges)
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(9, 0) || !g.HasEdge(9, 1) {
+		t.Fatal("ring lattice edges missing")
+	}
+}
+
+func TestSmallWorldRewiring(t *testing.T) {
+	n := 200
+	edges := SmallWorld(4, n, 2, 0.3, WeightUnit)
+	rewired := 0
+	for _, e := range edges {
+		d := (int(e.To) - int(e.From) + n) % n
+		if d != 1 && d != 2 {
+			rewired++
+		}
+		if e.From == e.To {
+			t.Fatal("self loop after rewiring")
+		}
+	}
+	// ~30% of 400 edges should be rewired; accept a broad band.
+	if rewired < 60 || rewired > 200 {
+		t.Fatalf("rewired = %d of %d, outside plausible band", rewired, len(edges))
+	}
+}

@@ -1,0 +1,57 @@
+// Package gen produces deterministic synthetic graphs and edge streams.
+// These stand in for the paper's real-world datasets (Wiki, UKDomain,
+// Twitter, TwitterMPI, Friendster, Yahoo): the RMAT generator reproduces
+// the skewed, sparse degree distributions that drive the paper's results
+// (value stabilization, pruning effectiveness, Hi/Lo workload contrast).
+package gen
+
+// RNG is a small, fast, deterministic xorshift64* generator. It is used
+// instead of math/rand so streams are reproducible across Go versions.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator; a zero seed is remapped to a fixed non-zero
+// constant (xorshift state must be non-zero).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

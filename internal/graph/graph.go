@@ -1,0 +1,195 @@
+// Package graph provides the streaming-graph substrate underneath the
+// GraphBolt engine: an immutable CSR+CSC snapshot with weighted directed
+// edges, and the two-pass structural mutation described in §4.1 of the
+// paper (one sequential pass over the vertex array computing offset
+// adjustments, one vertex-parallel pass shifting and inserting edges).
+//
+// Adjacency lists are kept sorted by neighbor id, which makes deletion a
+// merge, lookup a binary search, and triangle counting a sorted-set
+// intersection.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// VertexID identifies a vertex. Dense ids in [0, NumVertices).
+type VertexID = uint32
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	From, To VertexID
+	Weight   float64
+}
+
+// adjacency is one direction of the graph in compressed sparse form:
+// neighbors of v are targets[offsets[v]:offsets[v+1]], sorted ascending,
+// with parallel weights.
+type adjacency struct {
+	offsets []int64
+	targets []VertexID
+	weights []float64
+}
+
+func (a *adjacency) degree(v VertexID) int {
+	return int(a.offsets[v+1] - a.offsets[v])
+}
+
+func (a *adjacency) neighbors(v VertexID) ([]VertexID, []float64) {
+	lo, hi := a.offsets[v], a.offsets[v+1]
+	return a.targets[lo:hi], a.weights[lo:hi]
+}
+
+// Graph is an immutable snapshot of a directed weighted graph. Apply
+// produces a new snapshot; the old one remains valid, which the
+// refinement path relies on (old weights feed retraction).
+type Graph struct {
+	out adjacency // CSR indexed by source
+	in  adjacency // CSC indexed by destination
+	n   int
+	m   int64
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns |E| (directed edge count, parallel edges included).
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// OutDegree returns the number of out-edges of v.
+func (g *Graph) OutDegree(v VertexID) int { return g.out.degree(v) }
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v VertexID) int { return g.in.degree(v) }
+
+// OutNeighbors returns v's out-neighbor ids and edge weights, sorted by
+// neighbor id. The returned slices alias the graph; do not modify.
+func (g *Graph) OutNeighbors(v VertexID) ([]VertexID, []float64) {
+	return g.out.neighbors(v)
+}
+
+// InNeighbors returns v's in-neighbor ids and edge weights, sorted by
+// neighbor id. The returned slices alias the graph; do not modify.
+func (g *Graph) InNeighbors(v VertexID) ([]VertexID, []float64) {
+	return g.in.neighbors(v)
+}
+
+// HasEdge reports whether at least one edge (u,v) exists.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	ts, _ := g.out.neighbors(u)
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= v })
+	return i < len(ts) && ts[i] == v
+}
+
+// EdgeWeight returns the weight of one edge (u,v) and whether it exists.
+// With parallel edges it returns the first instance's weight.
+func (g *Graph) EdgeWeight(u, v VertexID) (float64, bool) {
+	ts, ws := g.out.neighbors(u)
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= v })
+	if i < len(ts) && ts[i] == v {
+		return ws[i], true
+	}
+	return 0, false
+}
+
+// Edges appends every edge to dst (in source-major sorted order) and
+// returns it.
+func (g *Graph) Edges(dst []Edge) []Edge {
+	for v := 0; v < g.n; v++ {
+		ts, ws := g.out.neighbors(VertexID(v))
+		for i, t := range ts {
+			dst = append(dst, Edge{From: VertexID(v), To: t, Weight: ws[i]})
+		}
+	}
+	return dst
+}
+
+// Build constructs a snapshot from an edge list. n is the number of
+// vertices; every endpoint must be < n. Parallel edges and self loops are
+// preserved.
+func Build(n int, edges []Edge) (*Graph, error) {
+	for _, e := range edges {
+		if int(e.From) >= n || int(e.To) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) outside vertex range [0,%d)", e.From, e.To, n)
+		}
+	}
+	g := &Graph{n: n, m: int64(len(edges))}
+	g.out = buildAdjacency(n, edges, false)
+	g.in = buildAdjacency(n, edges, true)
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are valid by construction.
+func MustBuild(n int, edges []Edge) *Graph {
+	g, err := Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func buildAdjacency(n int, edges []Edge, transpose bool) adjacency {
+	key := func(e Edge) (VertexID, VertexID) {
+		if transpose {
+			return e.To, e.From
+		}
+		return e.From, e.To
+	}
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		s, _ := key(e)
+		deg[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	a := adjacency{
+		offsets: deg,
+		targets: make([]VertexID, len(edges)),
+		weights: make([]float64, len(edges)),
+	}
+	cursor := make([]int64, n)
+	for _, e := range edges {
+		s, t := key(e)
+		p := a.offsets[s] + cursor[s]
+		cursor[s]++
+		a.targets[p] = t
+		a.weights[p] = e.Weight
+	}
+	// Sort each vertex's list by neighbor id (stable on weights is not
+	// required; any order among parallel edges is fine).
+	parallel.For(n, func(v int) {
+		lo, hi := a.offsets[v], a.offsets[v+1]
+		sortNeighborRange(a.targets[lo:hi], a.weights[lo:hi])
+	})
+	return a
+}
+
+func sortNeighborRange(ts []VertexID, ws []float64) {
+	sort.Sort(&neighborSorter{ts, ws})
+}
+
+type neighborSorter struct {
+	ts []VertexID
+	ws []float64
+}
+
+func (s *neighborSorter) Len() int { return len(s.ts) }
+
+// Less orders by neighbor id with weight as tie-break so parallel edges
+// appear in a deterministic order in both CSR and CSC; deletion then
+// removes the same instance from both directions.
+func (s *neighborSorter) Less(i, j int) bool {
+	if s.ts[i] != s.ts[j] {
+		return s.ts[i] < s.ts[j]
+	}
+	return s.ws[i] < s.ws[j]
+}
+func (s *neighborSorter) Swap(i, j int) {
+	s.ts[i], s.ts[j] = s.ts[j], s.ts[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as "from to weight" lines preceded by a
+// "# vertices N edges M" header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ts, ws := g.OutNeighbors(VertexID(v))
+		for i, t := range ts {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", v, t, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' are comments; the vertex count is the maximum endpoint + 1
+// unless a "# vertices N" header raises it. The weight column is optional
+// and defaults to 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	declared := -1
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			for i := 0; i+1 < len(fields); i++ {
+				if fields[i] == "vertices" {
+					if n, err := strconv.Atoi(fields[i+1]); err == nil {
+						declared = n
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'from to [weight]', got %q", lineNo, line)
+		}
+		from, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source: %v", lineNo, err)
+		}
+		to, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target: %v", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+		}
+		if int(from) > maxID {
+			maxID = int(from)
+		}
+		if int(to) > maxID {
+			maxID = int(to)
+		}
+		edges = append(edges, Edge{From: VertexID(from), To: VertexID(to), Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	n := maxID + 1
+	if declared > n {
+		n = declared
+	}
+	if n < 0 {
+		n = 0
+	}
+	return Build(n, edges)
+}

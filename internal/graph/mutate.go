@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"repro/internal/parallel"
+)
+
+// Batch is a set of structural mutations applied atomically between BSP
+// iterations. Deletions are matched by (From,To); the weight field of a
+// delete request is ignored and the actual deleted weight is reported in
+// ApplyResult (refinement retracts old contributions using old weights).
+type Batch struct {
+	Add []Edge
+	Del []Edge
+}
+
+// ApplyResult reports what a Batch actually did to the graph.
+type ApplyResult struct {
+	// Added are the edges inserted (equal to Batch.Add).
+	Added []Edge
+	// Deleted are the edges removed, carrying their original weights.
+	Deleted []Edge
+	// MissingDeletes counts delete requests that matched no edge.
+	MissingDeletes int
+}
+
+// Apply produces a new snapshot reflecting the batch, per §4.1: a
+// sequential pass over the vertex array computes offset adjustments, then
+// a vertex-parallel pass shifts surviving edges and inserts additions.
+// Vertex ids referenced beyond the current range grow the vertex set.
+//
+// If a delete request matches multiple parallel edges, one instance is
+// removed per request. The receiver is left untouched.
+func (g *Graph) Apply(batch Batch) (*Graph, ApplyResult) {
+	n := g.n
+	for _, e := range batch.Add {
+		if int(e.From) >= n {
+			n = int(e.From) + 1
+		}
+		if int(e.To) >= n {
+			n = int(e.To) + 1
+		}
+	}
+
+	ng := &Graph{n: n}
+	var res ApplyResult
+	res.Added = append(res.Added, batch.Add...)
+
+	// The out direction determines which delete requests match; it
+	// reports the removed instances (with weights), which then drive the
+	// in direction so both stay consistent.
+	var deleted []Edge
+	ng.out, deleted, res.MissingDeletes = mutateAdjacency(&g.out, g.n, n, batch.Add, batch.Del, false)
+	res.Deleted = deleted
+	ng.in, _, _ = mutateAdjacency(&g.in, g.n, n, batch.Add, deleted, true)
+
+	ng.m = g.m + int64(len(batch.Add)) - int64(len(deleted))
+	return ng, res
+}
+
+// bucket holds one vertex's pending mutations in a direction, targets
+// sorted ascending.
+type bucket struct {
+	targets []VertexID
+	weights []float64 // only populated for additions
+}
+
+// mutateAdjacency rewrites one direction. oldN is the receiver's vertex
+// count, n the new one; transpose keys by destination.
+func mutateAdjacency(a *adjacency, oldN, n int, add, del []Edge, transpose bool) (adjacency, []Edge, int) {
+	adds := bucketEdges(add, transpose)
+	dels := bucketEdges(del, transpose)
+
+	// Pass 1 (sequential over vertices): exact new degrees. Matching
+	// deletes are counted with the same merge pass 2 performs, so the
+	// offsets are final. This is the "offset adjustment" pass of §4.1.
+	newDeg := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		oldDeg := 0
+		var ts []VertexID
+		if v < oldN {
+			ts, _ = a.neighbors(VertexID(v))
+			oldDeg = len(ts)
+		}
+		m := 0
+		if d, ok := dels[VertexID(v)]; ok {
+			m = countMatches(ts, d.targets)
+		}
+		nAdd := 0
+		if ab, ok := adds[VertexID(v)]; ok {
+			nAdd = len(ab.targets)
+		}
+		newDeg[v+1] = int64(oldDeg + nAdd - m)
+	}
+	for i := 0; i < n; i++ {
+		newDeg[i+1] += newDeg[i]
+	}
+
+	na := adjacency{
+		offsets: newDeg,
+		targets: make([]VertexID, newDeg[n]),
+		weights: make([]float64, newDeg[n]),
+	}
+
+	// Pass 2 (vertex-parallel): merge surviving old edges with sorted
+	// additions into the new chunks.
+	deletedOut := make([][]Edge, n)
+	missing := parallel.NewCounter()
+	parallel.ForWorker(n, 64, func(worker, start, end int) {
+		for v := start; v < end; v++ {
+			vid := VertexID(v)
+			var ts []VertexID
+			var ws []float64
+			if v < oldN {
+				ts, ws = a.neighbors(vid)
+			}
+			db := dels[vid]
+			ab := adds[vid]
+			pos := na.offsets[v]
+			var removed []Edge
+
+			di, ai := 0, 0
+			for i, t := range ts {
+				for ai < len(ab.targets) && ab.targets[ai] < t {
+					na.targets[pos] = ab.targets[ai]
+					na.weights[pos] = ab.weights[ai]
+					pos++
+					ai++
+				}
+				// Skip delete requests whose target has been passed.
+				for di < len(db.targets) && db.targets[di] < t {
+					di++
+					missing.Add(worker, 1)
+				}
+				if di < len(db.targets) && db.targets[di] == t {
+					di++
+					if transpose {
+						removed = append(removed, Edge{From: t, To: vid, Weight: ws[i]})
+					} else {
+						removed = append(removed, Edge{From: vid, To: t, Weight: ws[i]})
+					}
+					continue
+				}
+				na.targets[pos] = t
+				na.weights[pos] = ws[i]
+				pos++
+			}
+			for ai < len(ab.targets) {
+				na.targets[pos] = ab.targets[ai]
+				na.weights[pos] = ab.weights[ai]
+				pos++
+				ai++
+			}
+			if left := len(db.targets) - di; left > 0 {
+				missing.Add(worker, int64(left))
+			}
+			if pos != na.offsets[v+1] {
+				panic("graph: offset pass and shift pass disagree")
+			}
+			deletedOut[v] = removed
+		}
+	})
+
+	var allDeleted []Edge
+	for _, d := range deletedOut {
+		allDeleted = append(allDeleted, d...)
+	}
+	return na, allDeleted, int(missing.Sum())
+}
+
+// bucketEdges groups edges by direction-dependent source, sorted by
+// (target, weight) — the same order the adjacency lists use, so deletion
+// removes the same parallel-edge instances in both directions.
+func bucketEdges(edges []Edge, transpose bool) map[VertexID]bucket {
+	if len(edges) == 0 {
+		return nil
+	}
+	m := make(map[VertexID]bucket)
+	for _, e := range edges {
+		s, t := e.From, e.To
+		if transpose {
+			s, t = t, s
+		}
+		b := m[s]
+		b.targets = append(b.targets, t)
+		b.weights = append(b.weights, e.Weight)
+		m[s] = b
+	}
+	for s, b := range m {
+		sortNeighborRange(b.targets, b.weights)
+		m[s] = b
+	}
+	return m
+}
+
+// countMatches merges a sorted neighbor list against sorted delete
+// targets, consuming one neighbor instance per delete request.
+func countMatches(ts []VertexID, want []VertexID) int {
+	i, j, matches := 0, 0, 0
+	for i < len(ts) && j < len(want) {
+		switch {
+		case ts[i] < want[j]:
+			i++
+		case ts[i] > want[j]:
+			j++
+		default:
+			matches++
+			i++
+			j++
+		}
+	}
+	return matches
+}

@@ -1,0 +1,142 @@
+package kickstarter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// dijkstraRef computes reference distances with Bellman-Ford.
+func dijkstraRef(g *graph.Graph, src graph.VertexID) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	if int(src) < n {
+		dist[src] = 0
+	}
+	for round := 0; round < n; round++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			ts, ws := g.OutNeighbors(graph.VertexID(u))
+			for i, v := range ts {
+				if nd := dist[u] + ws[i]; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func distsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsInf(a[i], 1) && math.IsInf(b[i], 1)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInitialDistances(t *testing.T) {
+	g := graph.MustBuild(5, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 2}, {From: 0, To: 2, Weight: 5}, {From: 2, To: 3, Weight: 1},
+	})
+	k := NewSSSP(g, 0)
+	want := []float64{0, 1, 3, 4, math.Inf(1)}
+	if !distsEqual(k.Distances(), want) {
+		t.Fatalf("dist = %v, want %v", k.Distances(), want)
+	}
+}
+
+func TestAdditionShortensPath(t *testing.T) {
+	g := graph.MustBuild(3, []graph.Edge{{From: 0, To: 1, Weight: 10}, {From: 1, To: 2, Weight: 10}})
+	k := NewSSSP(g, 0)
+	k.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 0, To: 2, Weight: 3}}})
+	if k.Distances()[2] != 3 {
+		t.Fatalf("dist[2] = %v, want 3", k.Distances()[2])
+	}
+}
+
+func TestDeletionTrimsAndRecovers(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 0, To: 2, Weight: 10}, {From: 2, To: 3, Weight: 1},
+	})
+	k := NewSSSP(g, 0)
+	k.ApplyBatch(graph.Batch{Del: []graph.Edge{{From: 1, To: 2}}})
+	if k.Distances()[2] != 10 || k.Distances()[3] != 11 {
+		t.Fatalf("dist = %v", k.Distances())
+	}
+	k.ApplyBatch(graph.Batch{Del: []graph.Edge{{From: 0, To: 2}}})
+	if !math.IsInf(k.Distances()[2], 1) || !math.IsInf(k.Distances()[3], 1) {
+		t.Fatalf("dist after disconnect = %v", k.Distances())
+	}
+}
+
+func TestVertexGrowth(t *testing.T) {
+	g := graph.MustBuild(2, []graph.Edge{{From: 0, To: 1, Weight: 2}})
+	k := NewSSSP(g, 0)
+	k.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 1, To: 5, Weight: 3}}})
+	if k.Distances()[5] != 5 {
+		t.Fatalf("dist[5] = %v, want 5", k.Distances()[5])
+	}
+}
+
+// Property: after any random batch sequence, distances equal a reference
+// recomputation on the final snapshot.
+func TestQuickIncrementalMatchesReference(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := gen.NewRNG(seed)
+		n := 5 + r.Intn(40)
+		m := r.Intn(5 * n)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{
+				From:   graph.VertexID(r.Intn(n)),
+				To:     graph.VertexID(r.Intn(n)),
+				Weight: float64(r.Intn(9) + 1),
+			}
+		}
+		g := graph.MustBuild(n, edges)
+		src := graph.VertexID(r.Intn(n))
+		k := NewSSSP(g, src)
+		for b := 0; b < 1+r.Intn(4); b++ {
+			var batch graph.Batch
+			for i := 0; i < r.Intn(8); i++ {
+				batch.Add = append(batch.Add, graph.Edge{
+					From:   graph.VertexID(r.Intn(n)),
+					To:     graph.VertexID(r.Intn(n)),
+					Weight: float64(r.Intn(9) + 1),
+				})
+			}
+			all := k.Graph().Edges(nil)
+			for i := 0; i < r.Intn(8) && len(all) > 0; i++ {
+				e := all[r.Intn(len(all))]
+				batch.Del = append(batch.Del, graph.Edge{From: e.From, To: e.To})
+			}
+			k.ApplyBatch(batch)
+			if !distsEqual(k.Distances(), dijkstraRef(k.Graph(), src)) {
+				t.Logf("seed %d batch %d: %v vs %v", seed, b, k.Distances(), dijkstraRef(k.Graph(), src))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

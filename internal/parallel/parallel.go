@@ -1,0 +1,162 @@
+// Package parallel provides the shared-memory parallel execution
+// primitives used throughout the GraphBolt engine: grained parallel-for
+// loops, atomic float operations, striped spinlocks for per-vertex
+// aggregate updates, and per-worker counters.
+//
+// The primitives intentionally mirror what a Ligra-style runtime needs:
+// flat fork-join loops over vertex and edge ranges, with no allocation on
+// the steady-state path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the minimum number of loop indices a worker claims at a
+// time. Small enough to balance skewed per-index work (high-degree
+// vertices), large enough to amortize the atomic fetch-add per claim.
+const DefaultGrain = 512
+
+// Procs returns the degree of parallelism loops run at.
+func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) across Procs() goroutines using
+// dynamic chunk self-scheduling with DefaultGrain granularity. It blocks
+// until every index has been processed. For small n it runs inline.
+func For(n int, body func(i int)) {
+	ForGrain(n, DefaultGrain, body)
+}
+
+// ForGrain is For with an explicit grain size.
+func ForGrain(n, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p := Procs()
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if p == 1 || n <= grain {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	if needed := (n + grain - 1) / grain; p > needed {
+		p = needed
+	}
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForRange runs body(start, end) over disjoint subranges covering [0, n),
+// letting the body iterate a contiguous chunk itself. Useful when the body
+// wants to keep per-chunk locals (e.g. a worker-private counter).
+func ForRange(n, grain int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Procs()
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	if needed := (n + grain - 1) / grain; p > needed {
+		p = needed
+	}
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				body(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker runs body(worker, start, end) like ForRange but also passes a
+// dense worker id in [0, Workers()) so the body can index per-worker state
+// without false sharing on a shared counter.
+func ForWorker(n, grain int, body func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Procs()
+	if p == 1 || n <= grain {
+		body(0, 0, n)
+		return
+	}
+	if needed := (n + grain - 1) / grain; p > needed {
+		p = needed
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				body(worker, start, end)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Workers returns an upper bound on the worker ids ForWorker passes to its
+// body. Always ≥ 1.
+func Workers() int {
+	p := Procs()
+	if p < 1 {
+		return 1
+	}
+	return p
+}

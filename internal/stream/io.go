@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteBatches writes mutation batches in the stream text format: one
+// mutation per line — "a src dst weight" for an addition, "d src dst"
+// for a deletion — with "#batch" lines separating batches.
+func WriteBatches(w io.Writer, batches []graph.Batch) error {
+	bw := bufio.NewWriter(w)
+	for _, b := range batches {
+		if _, err := fmt.Fprintln(bw, "#batch"); err != nil {
+			return err
+		}
+		for _, e := range b.Add {
+			if _, err := fmt.Fprintf(bw, "a %d %d %g\n", e.From, e.To, e.Weight); err != nil {
+				return err
+			}
+		}
+		for _, e := range b.Del {
+			if _, err := fmt.Fprintf(bw, "d %d %d\n", e.From, e.To); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBatches parses the format written by WriteBatches. Missing weights
+// default to 1; blank lines and other "#" comments are ignored.
+func ReadBatches(r io.Reader) ([]graph.Batch, error) {
+	var batches []graph.Batch
+	var cur graph.Batch
+	flush := func() {
+		if len(cur.Add)+len(cur.Del) > 0 {
+			batches = append(batches, cur)
+			cur = graph.Batch{}
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "#batch" {
+				flush()
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("stream: line %d: want 'a src dst [w]' or 'd src dst', got %q", lineNo, line)
+		}
+		from, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad source: %v", lineNo, err)
+		}
+		to, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad target: %v", lineNo, err)
+		}
+		switch fields[0] {
+		case "a":
+			w := 1.0
+			if len(fields) >= 4 {
+				w, err = strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("stream: line %d: bad weight: %v", lineNo, err)
+				}
+			}
+			cur.Add = append(cur.Add, graph.Edge{From: graph.VertexID(from), To: graph.VertexID(to), Weight: w})
+		case "d":
+			cur.Del = append(cur.Del, graph.Edge{From: graph.VertexID(from), To: graph.VertexID(to)})
+		default:
+			return nil, fmt.Errorf("stream: line %d: unknown op %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return batches, nil
+}
+
+// DeleteVertex expands a vertex deletion into the batch operations the
+// engine understands: deleting every incident edge of v in g. The vertex
+// id itself remains allocated (ids are dense), isolated and inert —
+// matching the paper's treatment of vertex deletions as edge deletions.
+func DeleteVertex(g *graph.Graph, v graph.VertexID, b *graph.Batch) {
+	ts, _ := g.OutNeighbors(v)
+	for _, t := range ts {
+		b.Del = append(b.Del, graph.Edge{From: v, To: t})
+	}
+	us, _ := g.InNeighbors(v)
+	for _, u := range us {
+		if u == v {
+			continue // self loop already covered by the out direction
+		}
+		b.Del = append(b.Del, graph.Edge{From: u, To: v})
+	}
+}
+
+// UpdateWeight expands an edge-weight change into delete + insert, the
+// canonical streaming-graph encoding. Reports false if the edge does not
+// exist.
+func UpdateWeight(g *graph.Graph, from, to graph.VertexID, newWeight float64, b *graph.Batch) bool {
+	if _, ok := g.EdgeWeight(from, to); !ok {
+		return false
+	}
+	b.Del = append(b.Del, graph.Edge{From: from, To: to})
+	b.Add = append(b.Add, graph.Edge{From: from, To: to, Weight: newWeight})
+	return true
+}

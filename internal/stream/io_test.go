@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBatchesRoundTrip(t *testing.T) {
+	in := []graph.Batch{
+		{
+			Add: []graph.Edge{{From: 0, To: 1, Weight: 2.5}, {From: 3, To: 4, Weight: 1}},
+			Del: []graph.Edge{{From: 1, To: 0}},
+		},
+		{
+			Del: []graph.Edge{{From: 3, To: 4}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteBatches(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBatches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in=%v\nout=%v", in, out)
+	}
+}
+
+func TestReadBatchesDefaultsAndErrors(t *testing.T) {
+	out, err := ReadBatches(bytes.NewBufferString("#batch\na 0 1\n# a comment\n\nd 1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Add[0].Weight != 1 || len(out[0].Del) != 1 {
+		t.Fatalf("parsed %v", out)
+	}
+	for _, bad := range []string{"a 0\n", "x 0 1\n", "a q 1\n", "a 0 q\n", "a 0 1 q\n"} {
+		if _, err := ReadBatches(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReadBatchesEmptyBatchesSkipped(t *testing.T) {
+	out, err := ReadBatches(bytes.NewBufferString("#batch\n#batch\na 0 1 1\n#batch\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("batches = %d, want 1", len(out))
+	}
+}
+
+func TestDeleteVertexRemovesAllIncidentEdges(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1},
+		{From: 2, To: 1, Weight: 1}, {From: 1, To: 1, Weight: 1}, // self loop
+		{From: 3, To: 0, Weight: 1},
+	})
+	var b graph.Batch
+	DeleteVertex(g, 1, &b)
+	ng, res := g.Apply(b)
+	if res.MissingDeletes != 0 {
+		t.Fatalf("missing deletes: %d", res.MissingDeletes)
+	}
+	if ng.OutDegree(1) != 0 || ng.InDegree(1) != 0 {
+		t.Fatalf("vertex 1 still has edges: out=%d in=%d", ng.OutDegree(1), ng.InDegree(1))
+	}
+	if !ng.HasEdge(3, 0) {
+		t.Fatal("unrelated edge removed")
+	}
+}
+
+func TestDeleteVertexThenRefineMatchesScratch(t *testing.T) {
+	edges := gen.RMAT(77, 100, 800, gen.WeightUniform)
+	g := graph.MustBuild(100, edges)
+	eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), core.Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var b graph.Batch
+	DeleteVertex(g, 5, &b)
+	DeleteVertex(g, 42, &b)
+	eng.ApplyBatch(b)
+
+	fresh, _ := core.NewEngine[float64, float64](eng.Graph(), algorithms.NewPageRank(),
+		core.Options{Mode: core.ModeReset, MaxIterations: 8})
+	fresh.Run()
+	for v := range eng.Values() {
+		d := eng.Values()[v] - fresh.Values()[v]
+		if d > 1e-9 || d < -1e-9 {
+			t.Fatalf("vertex %d: %v vs %v", v, eng.Values()[v], fresh.Values()[v])
+		}
+	}
+}
+
+func TestUpdateWeight(t *testing.T) {
+	g := graph.MustBuild(2, []graph.Edge{{From: 0, To: 1, Weight: 3}})
+	var b graph.Batch
+	if !UpdateWeight(g, 0, 1, 7, &b) {
+		t.Fatal("existing edge reported missing")
+	}
+	ng, _ := g.Apply(b)
+	if w, _ := ng.EdgeWeight(0, 1); w != 7 {
+		t.Fatalf("weight = %v, want 7", w)
+	}
+	if UpdateWeight(g, 1, 0, 9, &b) {
+		t.Fatal("missing edge reported present")
+	}
+}

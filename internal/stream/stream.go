@@ -1,0 +1,202 @@
+// Package stream builds mutation streams following the paper's
+// evaluation methodology (§5.1): load an initial fraction of the edges to
+// obtain a fixed point, then stream the remaining edges as additions
+// mixed with deletion requests drawn from the loaded graph. It also
+// provides the Hi/Lo degree-targeted workloads of §5.3(B).
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Stream is a prepared sequence of mutation batches over a base graph.
+type Stream struct {
+	// Base is the initially loaded graph (the paper's "50% of edges").
+	Base *graph.Graph
+	// Batches are applied in order.
+	Batches []graph.Batch
+}
+
+// Config controls stream construction.
+type Config struct {
+	// LoadFraction of the edge list forms the base graph (paper: 0.5).
+	LoadFraction float64
+	// BatchSize is the number of mutations per batch.
+	BatchSize int
+	// NumBatches caps how many batches to emit (0 = as many as the
+	// remaining additions allow).
+	NumBatches int
+	// DeleteFraction of each batch are deletions of loaded edges
+	// (paper mixes deletions into the addition stream; we default to
+	// 0.25 when unset and deletions are enabled).
+	DeleteFraction float64
+	// Seed drives deletion sampling and shuffling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LoadFraction <= 0 || c.LoadFraction > 1 {
+		c.LoadFraction = 0.5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.DeleteFraction < 0 || c.DeleteFraction >= 1 {
+		c.DeleteFraction = 0.25
+	}
+	return c
+}
+
+// FromEdges builds a stream from a full edge list: the first
+// LoadFraction forms Base; the rest are streamed as additions, mixed
+// with deletions sampled (without replacement) from the loaded edges.
+func FromEdges(n int, edges []graph.Edge, cfg Config) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	split := int(float64(len(edges)) * cfg.LoadFraction)
+	if split < 0 || split > len(edges) {
+		return nil, fmt.Errorf("stream: bad load split %d of %d", split, len(edges))
+	}
+	base, err := graph.Build(n, edges[:split])
+	if err != nil {
+		return nil, err
+	}
+	adds := edges[split:]
+
+	r := gen.NewRNG(cfg.Seed)
+	// Deletion candidates: loaded edges, shuffled; consumed in order so
+	// no edge is deleted twice.
+	loaded := append([]graph.Edge(nil), edges[:split]...)
+	for i := len(loaded) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		loaded[i], loaded[j] = loaded[j], loaded[i]
+	}
+
+	delPerBatch := int(float64(cfg.BatchSize) * cfg.DeleteFraction)
+	addPerBatch := cfg.BatchSize - delPerBatch
+
+	s := &Stream{Base: base}
+	ai, di := 0, 0
+	for {
+		if cfg.NumBatches > 0 && len(s.Batches) >= cfg.NumBatches {
+			break
+		}
+		if ai >= len(adds) && (delPerBatch == 0 || di >= len(loaded)) {
+			break
+		}
+		var b graph.Batch
+		for k := 0; k < addPerBatch && ai < len(adds); k++ {
+			b.Add = append(b.Add, adds[ai])
+			ai++
+		}
+		for k := 0; k < delPerBatch && di < len(loaded); k++ {
+			e := loaded[di]
+			di++
+			b.Del = append(b.Del, graph.Edge{From: e.From, To: e.To})
+		}
+		if len(b.Add)+len(b.Del) == 0 {
+			break
+		}
+		s.Batches = append(s.Batches, b)
+	}
+	return s, nil
+}
+
+// RMAT builds the standard evaluation stream: an RMAT graph of n vertices
+// and m edges, half loaded, the rest streamed per cfg.
+func RMAT(seed uint64, n, m int, w gen.Weighting, cfg Config) (*Stream, error) {
+	edges := gen.RMAT(seed, n, m, w)
+	return FromEdges(n, edges, cfg)
+}
+
+// Workload selects where mutations land for HiLoBatch (§5.3B).
+type Workload int
+
+const (
+	// WorkloadHi targets vertices with high out-degree so changes affect
+	// many vertices.
+	WorkloadHi Workload = iota
+	// WorkloadLo targets vertices with low (but non-zero) out-degree to
+	// limit impact.
+	WorkloadLo
+)
+
+// HiLoBatch builds one batch of size mutations whose endpoints are chosen
+// from the top (Hi) or bottom (Lo) decile of out-degrees in g. Additions
+// attach a new edge from a chosen vertex to a random vertex; a
+// deleteFraction of the batch deletes an existing out-edge of a chosen
+// vertex.
+func HiLoBatch(g *graph.Graph, wl Workload, size int, deleteFraction float64, seed uint64) graph.Batch {
+	r := gen.NewRNG(seed)
+	n := g.NumVertices()
+	type dv struct {
+		v   graph.VertexID
+		deg int
+	}
+	var candidates []dv
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+			candidates = append(candidates, dv{graph.VertexID(v), d})
+		}
+	}
+	if len(candidates) == 0 {
+		return graph.Batch{}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].deg < candidates[j].deg })
+	decile := len(candidates) / 10
+	if decile == 0 {
+		decile = len(candidates)
+	}
+	var pool []dv
+	if wl == WorkloadHi {
+		pool = candidates[len(candidates)-decile:]
+	} else {
+		pool = candidates[:decile]
+	}
+
+	nDel := int(float64(size) * deleteFraction)
+	var b graph.Batch
+	for i := 0; i < size-nDel; i++ {
+		u := pool[r.Intn(len(pool))].v
+		b.Add = append(b.Add, graph.Edge{From: u, To: graph.VertexID(r.Intn(n)), Weight: 1})
+	}
+	for i := 0; i < nDel; i++ {
+		u := pool[r.Intn(len(pool))].v
+		ts, _ := g.OutNeighbors(u)
+		if len(ts) == 0 {
+			continue
+		}
+		b.Del = append(b.Del, graph.Edge{From: u, To: ts[r.Intn(len(ts))]})
+	}
+	return b
+}
+
+// Windowed converts a batch sequence into a sliding-window stream: every
+// mutation expires after `window` batches, so batch i additionally
+// deletes the edges batch i-window added. This is the classic
+// streaming-analytics workload ("results over the last N minutes") and a
+// deletion-heavy stress for incremental engines. Deletions present in
+// the source batches are preserved; expiring edges that were already
+// deleted simply surface as missing deletes when applied.
+func Windowed(batches []graph.Batch, window int) []graph.Batch {
+	if window <= 0 {
+		window = 1
+	}
+	out := make([]graph.Batch, len(batches))
+	for i, b := range batches {
+		nb := graph.Batch{
+			Add: append([]graph.Edge(nil), b.Add...),
+			Del: append([]graph.Edge(nil), b.Del...),
+		}
+		if i >= window {
+			for _, e := range batches[i-window].Add {
+				nb.Del = append(nb.Del, graph.Edge{From: e.From, To: e.To})
+			}
+		}
+		out[i] = nb
+	}
+	return out
+}

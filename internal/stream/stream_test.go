@@ -1,0 +1,235 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestFromEdgesSplitsAndBatches(t *testing.T) {
+	edges := gen.RMAT(1, 256, 2000, gen.WeightUnit)
+	s, err := FromEdges(256, edges, Config{LoadFraction: 0.5, BatchSize: 100, DeleteFraction: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base.NumEdges() != 1000 {
+		t.Fatalf("base edges = %d, want 1000", s.Base.NumEdges())
+	}
+	if len(s.Batches) == 0 {
+		t.Fatal("no batches")
+	}
+	// Full batches carry 75 adds / 25 dels; trailing batches may be
+	// short once either pool drains.
+	if b := s.Batches[0]; len(b.Add) != 75 || len(b.Del) != 25 {
+		t.Fatalf("batch 0: add=%d del=%d, want 75/25", len(b.Add), len(b.Del))
+	}
+	totalAdds := 0
+	for _, b := range s.Batches {
+		totalAdds += len(b.Add)
+	}
+	if totalAdds != 1000 {
+		t.Fatalf("streamed %d additions, want 1000", totalAdds)
+	}
+}
+
+func TestFromEdgesNoDuplicateDeletes(t *testing.T) {
+	edges := gen.RMAT(2, 128, 1000, gen.WeightUnit)
+	s, err := FromEdges(128, edges, Config{BatchSize: 50, DeleteFraction: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]graph.VertexID]int{}
+	dupBudget := map[[2]graph.VertexID]int{}
+	for _, e := range edges[:500] {
+		dupBudget[[2]graph.VertexID{e.From, e.To}]++
+	}
+	for _, b := range s.Batches {
+		for _, d := range b.Del {
+			k := [2]graph.VertexID{d.From, d.To}
+			seen[k]++
+			if seen[k] > dupBudget[k] {
+				t.Fatalf("deletion of %v exceeds multiplicity in loaded graph", k)
+			}
+		}
+	}
+}
+
+func TestStreamAppliesCleanly(t *testing.T) {
+	edges := gen.RMAT(3, 128, 1200, gen.WeightUnit)
+	s, err := FromEdges(128, edges, Config{BatchSize: 60, DeleteFraction: 0.2, Seed: 9, NumBatches: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Batches) != 5 {
+		t.Fatalf("batches = %d, want 5", len(s.Batches))
+	}
+	g := s.Base
+	for i, b := range s.Batches {
+		var res graph.ApplyResult
+		g, res = g.Apply(b)
+		if res.MissingDeletes != 0 {
+			t.Fatalf("batch %d: %d deletions missed", i, res.MissingDeletes)
+		}
+	}
+}
+
+func TestNumBatchesZeroDrainsAdds(t *testing.T) {
+	edges := gen.Uniform(4, 64, 400, gen.WeightUnit)
+	s, err := FromEdges(64, edges, Config{BatchSize: 30, DeleteFraction: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range s.Batches {
+		total += len(b.Add)
+		if len(b.Del) != 0 {
+			t.Fatal("unexpected deletions with DeleteFraction=0")
+		}
+	}
+	if total != 200 {
+		t.Fatalf("streamed %d additions, want 200", total)
+	}
+}
+
+func TestRMATStreamHelper(t *testing.T) {
+	s, err := RMAT(7, 128, 1000, gen.WeightUniform, Config{BatchSize: 100, NumBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base.NumVertices() != 128 || len(s.Batches) != 2 {
+		t.Fatalf("V=%d batches=%d", s.Base.NumVertices(), len(s.Batches))
+	}
+}
+
+func TestHiLoBatchTargetsDegrees(t *testing.T) {
+	// Star + chain: vertex 0 has high out-degree, chain vertices low.
+	var edges []graph.Edge
+	for v := 1; v <= 50; v++ {
+		edges = append(edges, graph.Edge{From: 0, To: graph.VertexID(v), Weight: 1})
+	}
+	for v := 50; v < 99; v++ {
+		edges = append(edges, graph.Edge{From: graph.VertexID(v), To: graph.VertexID(v + 1), Weight: 1})
+	}
+	g := graph.MustBuild(100, edges)
+
+	avgSrcDeg := func(b graph.Batch) float64 {
+		total, count := 0, 0
+		for _, e := range b.Add {
+			total += g.OutDegree(e.From)
+			count++
+		}
+		if count == 0 {
+			return 0
+		}
+		return float64(total) / float64(count)
+	}
+	hi := HiLoBatch(g, WorkloadHi, 20, 0.5, 11)
+	lo := HiLoBatch(g, WorkloadLo, 20, 0.5, 11)
+	if avgSrcDeg(hi) <= avgSrcDeg(lo) {
+		t.Fatalf("Hi avg source degree %v not above Lo %v", avgSrcDeg(hi), avgSrcDeg(lo))
+	}
+	for _, e := range lo.Add {
+		if e.From == 0 {
+			t.Fatal("Lo workload picked the hub")
+		}
+	}
+	// Deletions must reference existing edges.
+	for _, d := range append(hi.Del, lo.Del...) {
+		if !g.HasEdge(d.From, d.To) {
+			t.Fatalf("deletion of nonexistent edge (%d,%d)", d.From, d.To)
+		}
+	}
+}
+
+func TestHiLoBatchEmptyGraph(t *testing.T) {
+	g := graph.MustBuild(10, nil)
+	b := HiLoBatch(g, WorkloadHi, 5, 0.5, 1)
+	if len(b.Add) != 0 || len(b.Del) != 0 {
+		t.Fatal("HiLoBatch on edgeless graph should be empty")
+	}
+}
+
+func TestWindowedExpiresOldAdditions(t *testing.T) {
+	batches := []graph.Batch{
+		{Add: []graph.Edge{{From: 0, To: 1, Weight: 1}}},
+		{Add: []graph.Edge{{From: 1, To: 2, Weight: 1}}},
+		{Add: []graph.Edge{{From: 2, To: 3, Weight: 1}}},
+	}
+	win := Windowed(batches, 2)
+	if len(win[0].Del) != 0 || len(win[1].Del) != 0 {
+		t.Fatal("early batches should not expire anything")
+	}
+	if len(win[2].Del) != 1 || win[2].Del[0].From != 0 || win[2].Del[0].To != 1 {
+		t.Fatalf("batch 2 should expire (0,1): %v", win[2].Del)
+	}
+	// Source batches untouched.
+	if len(batches[2].Del) != 0 {
+		t.Fatal("Windowed mutated its input")
+	}
+}
+
+func TestWindowedStreamMaintainsWindowSize(t *testing.T) {
+	g := graph.MustBuild(50, nil)
+	r := gen.NewRNG(8)
+	var batches []graph.Batch
+	for i := 0; i < 10; i++ {
+		var b graph.Batch
+		for j := 0; j < 20; j++ {
+			b.Add = append(b.Add, graph.Edge{
+				From:   graph.VertexID(r.Intn(50)),
+				To:     graph.VertexID(r.Intn(50)),
+				Weight: 1,
+			})
+		}
+		batches = append(batches, b)
+	}
+	const window = 3
+	for i, b := range Windowed(batches, window) {
+		g, _ = g.Apply(b)
+		want := int64(20 * window)
+		if i < window {
+			want = int64(20 * (i + 1))
+		}
+		if g.NumEdges() != want {
+			t.Fatalf("after batch %d: %d edges, want %d", i, g.NumEdges(), want)
+		}
+	}
+}
+
+func TestWindowedRefinementMatchesScratch(t *testing.T) {
+	// A windowed PR stream exercises the deletion-heavy regime.
+	r := gen.NewRNG(9)
+	var batches []graph.Batch
+	for i := 0; i < 8; i++ {
+		var b graph.Batch
+		for j := 0; j < 30; j++ {
+			b.Add = append(b.Add, graph.Edge{
+				From:   graph.VertexID(r.Intn(80)),
+				To:     graph.VertexID(r.Intn(80)),
+				Weight: 1,
+			})
+		}
+		batches = append(batches, b)
+	}
+	g := graph.MustBuild(80, nil)
+	eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), core.Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	for _, b := range Windowed(batches, 2) {
+		eng.ApplyBatch(b)
+	}
+	fresh, _ := core.NewEngine[float64, float64](eng.Graph(), algorithms.NewPageRank(),
+		core.Options{Mode: core.ModeReset, MaxIterations: 8})
+	fresh.Run()
+	for v := range eng.Values() {
+		d := eng.Values()[v] - fresh.Values()[v]
+		if d > 1e-9 || d < -1e-9 {
+			t.Fatalf("vertex %d: %v vs %v", v, eng.Values()[v], fresh.Values()[v])
+		}
+	}
+}

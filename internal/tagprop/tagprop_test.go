@@ -1,0 +1,73 @@
+package tagprop
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTaggedChain(t *testing.T) {
+	// Chain 0→1→2→3→4: mutating edge (1,2) tags 1,2,3,4 but not 0.
+	g := graph.MustBuild(5, gen.Chain(5, gen.WeightUnit))
+	tagged := Tagged(g, []graph.Edge{{From: 1, To: 2, Weight: 1}}, nil)
+	for v := uint32(1); v <= 4; v++ {
+		if !tagged.Get(v) {
+			t.Fatalf("vertex %d not tagged", v)
+		}
+	}
+	if tagged.Get(0) {
+		t.Fatal("vertex 0 tagged despite being upstream")
+	}
+}
+
+func TestTaggedDeletionEndpoints(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{{From: 0, To: 1, Weight: 1}, {From: 2, To: 3, Weight: 1}})
+	// Deleting (2,3): endpoints and downstream of 3 (none) tagged.
+	tagged := Tagged(g, nil, []graph.Edge{{From: 2, To: 3, Weight: 1}})
+	if !tagged.Get(2) || !tagged.Get(3) {
+		t.Fatal("deletion endpoints not tagged")
+	}
+	if tagged.Get(0) || tagged.Get(1) {
+		t.Fatal("unrelated component tagged")
+	}
+}
+
+func TestTaggedEmptyBatch(t *testing.T) {
+	g := graph.MustBuild(10, gen.Chain(10, gen.WeightUnit))
+	if got := TaggedFraction(g, nil, nil); got != 0 {
+		t.Fatalf("empty batch tagged %v", got)
+	}
+}
+
+func TestTaggedIgnoresOutOfRangeEndpoints(t *testing.T) {
+	g := graph.MustBuild(3, []graph.Edge{{From: 0, To: 1, Weight: 1}})
+	// Endpoint 99 outside the snapshot (e.g. pre-growth id): skipped.
+	tagged := Tagged(g, []graph.Edge{{From: 99, To: 1, Weight: 1}}, nil)
+	if !tagged.Get(1) {
+		t.Fatal("valid endpoint not tagged")
+	}
+}
+
+// TestTaggedMajorityOnSmallWorld reproduces the §2.2 claim: on a
+// small-world graph, a single edge mutation tags the majority of
+// vertices.
+func TestTaggedMajorityOnSmallWorld(t *testing.T) {
+	n := 2000
+	g := graph.MustBuild(n, gen.SmallWorld(7, n, 3, 0.1, gen.WeightUnit))
+	frac := TaggedFraction(g, []graph.Edge{{From: 5, To: 900, Weight: 1}}, nil)
+	if frac < 0.5 {
+		t.Fatalf("single mutation tagged only %.1f%% of a small-world graph", 100*frac)
+	}
+}
+
+func TestTaggedFractionRMAT(t *testing.T) {
+	n := 2000
+	g := graph.MustBuild(n, gen.RMAT(8, n, 16000, gen.WeightUnit))
+	frac := TaggedFraction(g, []graph.Edge{{From: 0, To: 1, Weight: 1}}, nil)
+	// The giant strongly-connected component of an RMAT graph is
+	// forward-reachable from the hub.
+	if frac < 0.3 {
+		t.Fatalf("hub mutation tagged only %.1f%%", 100*frac)
+	}
+}
