@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# check is the pre-merge gate: static analysis, a full build, and the
+# internal packages under the race detector (the engine is internally
+# parallel; races there are correctness bugs, not style).
+check: vet build race
+	@echo "check: OK"
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

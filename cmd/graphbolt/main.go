@@ -7,6 +7,12 @@
 //
 //	graphbolt -graph base.el -stream stream.el -algo pagerank
 //	graphbolt -graph base.el -algo sssp -source 0 -top 10
+//	graphbolt -graph base.el -stream stream.el -wal-dir state/ -checkpoint-every 10
+//
+// With -wal-dir, every batch is journaled to a write-ahead log before it
+// is applied and the engine is checkpointed every -checkpoint-every
+// batches; restarting the command with the same -wal-dir recovers the
+// pre-crash state and continues the stream from there.
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/graph"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -33,10 +41,21 @@ func main() {
 		source     = flag.Uint("source", 0, "source vertex for sssp/bfs")
 		top        = flag.Int("top", 5, "print the top-k vertices by value")
 		validate   = flag.Bool("validate", false, "after the stream, cross-check against a from-scratch run")
+		walDir     = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints (enables durability + crash recovery)")
+		ckptEvery  = flag.Int("checkpoint-every", 10, "batches between automatic checkpoints (with -wal-dir; 0 = only journal)")
+		syncMode   = flag.String("sync", "every", "journal sync policy: every | interval | none (with -wal-dir)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		fatal("need -graph")
+	}
+	var dcfg *durableConfig
+	if *walDir != "" {
+		policy, err := parseSync(*syncMode)
+		if err != nil {
+			fatal("%v", err)
+		}
+		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy}
 	}
 
 	f, err := os.Open(*graphPath)
@@ -71,23 +90,39 @@ func main() {
 	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon}
 
 	if *algo == "triangles" {
+		if dcfg != nil {
+			fatal("-wal-dir is not supported with -algo triangles")
+		}
 		runTriangles(g, batches, *top)
 		return
 	}
 
-	run, err := buildRunner(*algo, g, opts, graph.VertexID(*source), *top)
+	run, err := buildRunner(*algo, g, opts, graph.VertexID(*source), *top, dcfg)
 	if err != nil {
 		fatal("%v", err)
 	}
 	start := time.Now()
-	st := run.run()
+	st, skip := run.run()
 	fmt.Printf("initial run: %v (%d iterations, %d edge computations)\n",
 		time.Since(start).Round(time.Microsecond), st.Iterations, st.EdgeComputations)
+	if skip > 0 {
+		fmt.Printf("recovered state covers the first %d stream batches; skipping them\n", skip)
+		if skip > uint64(len(batches)) {
+			skip = uint64(len(batches))
+		}
+		batches = batches[skip:]
+	}
 	for i, b := range batches {
 		start = time.Now()
-		st = run.apply(b)
+		st, err = run.apply(b)
+		if err != nil {
+			fatal("batch %d: %v", i+1, err)
+		}
 		fmt.Printf("batch %d (%d+ %d-): %v (%d edge computations)\n",
 			i+1, len(b.Add), len(b.Del), time.Since(start).Round(time.Microsecond), st.EdgeComputations)
+	}
+	if err := run.close(); err != nil {
+		fatal("%v", err)
 	}
 	run.report()
 	if *validate {
@@ -134,15 +169,75 @@ func maxAbsDiffVector(a, b [][]float64) float64 {
 	return worst
 }
 
-// runner adapts the differently-typed engines.
+// runner adapts the differently-typed engines. run performs the initial
+// computation (or recovery) and reports how many stream batches the
+// recovered state already covers.
 type runner struct {
-	run      func() core.Stats
-	apply    func(graph.Batch) core.Stats
+	run      func() (core.Stats, uint64)
+	apply    func(graph.Batch) (core.Stats, error)
+	close    func() error
 	report   func()
 	validate func() (worst float64)
 }
 
-func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.VertexID, top int) (*runner, error) {
+// durableConfig carries the -wal-dir flag family.
+type durableConfig struct {
+	dir   string
+	every int
+	sync  wal.SyncPolicy
+}
+
+// wire connects an engine to the runner entry points, inserting the
+// durable journaling layer when -wal-dir is set.
+func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.Stats, uint64), func(graph.Batch) (core.Stats, error), func() error) {
+	if cfg == nil {
+		run := func() (core.Stats, uint64) { return eng.Run(), 0 }
+		return run, eng.ApplyBatch, func() error { return nil }
+	}
+	var d *durable.Engine[V, A]
+	run := func() (core.Stats, uint64) {
+		var err error
+		d, err = durable.Open(eng, cfg.dir, durable.Options{
+			CheckpointEvery: cfg.every,
+			WAL:             wal.Options{Sync: cfg.sync},
+		})
+		if err != nil {
+			fatal("durable: %v", err)
+		}
+		if info := d.Recovery(); info.FromSnapshot || info.Replayed > 0 {
+			if info.FromSnapshot {
+				fmt.Printf("recovered from %s: checkpoint seq %d, %d journal records replayed",
+					cfg.dir, info.SnapshotSeq, info.Replayed)
+			} else {
+				fmt.Printf("recovered from %s: no checkpoint, %d journal records replayed",
+					cfg.dir, info.Replayed)
+			}
+			if info.WAL.Truncated {
+				fmt.Printf(" (torn journal tail: %d bytes dropped)", info.WAL.DroppedBytes)
+			}
+			fmt.Println()
+		}
+		return eng.TotalStats(), d.Seq()
+	}
+	apply := func(b graph.Batch) (core.Stats, error) { return d.ApplyBatch(b) }
+	cl := func() error { return d.Close() }
+	return run, apply, cl
+}
+
+func parseSync(s string) (wal.SyncPolicy, error) {
+	switch s {
+	case "every":
+		return wal.SyncEveryBatch, nil
+	case "interval":
+		return wal.SyncInterval, nil
+	case "none":
+		return wal.SyncNone, nil
+	default:
+		return 0, fmt.Errorf("unknown sync policy %q", s)
+	}
+}
+
+func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.VertexID, top int, cfg *durableConfig) (*runner, error) {
 	scalarReport := func(name string, eng *core.Engine[float64, float64]) func() {
 		return func() { printTop(name, eng.Values(), top) }
 	}
@@ -176,7 +271,8 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 		if err != nil {
 			return nil, err
 		}
-		return &runner{eng.Run, eng.ApplyBatch, scalarReport("rank", eng), scalarValidate(eng, algorithms.NewPageRank())}, nil
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, scalarReport("rank", eng), scalarValidate(eng, algorithms.NewPageRank())}, nil
 	case "coem":
 		n := g.NumVertices()
 		eng, err := core.NewEngine[float64, algorithms.CoEMAgg](g,
@@ -195,21 +291,24 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 			fresh.Run()
 			return maxAbsDiffScalar(eng.Values(), fresh.Values())
 		}
-		return &runner{eng.Run, eng.ApplyBatch, func() { printTop("score", eng.Values(), top) }, coemValidate}, nil
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, func() { printTop("score", eng.Values(), top) }, coemValidate}, nil
 	case "labelprop":
 		eng, err := core.NewEngine[[]float64, []float64](g,
 			algorithms.NewLabelProp(3, map[graph.VertexID]int{0: 0, 1: 1, 2: 2}), opts)
 		if err != nil {
 			return nil, err
 		}
-		return &runner{eng.Run, eng.ApplyBatch, func() { printVector("label", eng.Values(), top) },
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, func() { printVector("label", eng.Values(), top) },
 			vectorValidate(eng, algorithms.NewLabelProp(3, map[graph.VertexID]int{0: 0, 1: 1, 2: 2}))}, nil
 	case "bp":
 		eng, err := core.NewEngine[[]float64, []float64](g, algorithms.NewBeliefProp(3), opts)
 		if err != nil {
 			return nil, err
 		}
-		return &runner{eng.Run, eng.ApplyBatch, func() { printVector("belief", eng.Values(), top) },
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, func() { printVector("belief", eng.Values(), top) },
 			vectorValidate(eng, algorithms.NewBeliefProp(3))}, nil
 	case "cf":
 		eng, err := core.NewEngine[[]float64, algorithms.CFAgg](g, algorithms.NewCollabFilter(4), opts)
@@ -226,25 +325,29 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 			fresh.Run()
 			return maxAbsDiffVector(eng.Values(), fresh.Values())
 		}
-		return &runner{eng.Run, eng.ApplyBatch, func() { printVector("factors", eng.Values(), top) }, cfValidate}, nil
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, func() { printVector("factors", eng.Values(), top) }, cfValidate}, nil
 	case "sssp":
 		eng, err := core.NewEngine[float64, float64](g, algorithms.NewSSSP(source), opts)
 		if err != nil {
 			return nil, err
 		}
-		return &runner{eng.Run, eng.ApplyBatch, scalarReport("distance", eng), scalarValidate(eng, algorithms.NewSSSP(source))}, nil
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, scalarReport("distance", eng), scalarValidate(eng, algorithms.NewSSSP(source))}, nil
 	case "bfs":
 		eng, err := core.NewEngine[float64, float64](g, algorithms.NewBFS(source), opts)
 		if err != nil {
 			return nil, err
 		}
-		return &runner{eng.Run, eng.ApplyBatch, scalarReport("hops", eng), scalarValidate(eng, algorithms.NewBFS(source))}, nil
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, scalarReport("hops", eng), scalarValidate(eng, algorithms.NewBFS(source))}, nil
 	case "cc":
 		eng, err := core.NewEngine[float64, float64](g, algorithms.NewConnectedComponents(), opts)
 		if err != nil {
 			return nil, err
 		}
-		return &runner{eng.Run, eng.ApplyBatch, scalarReport("component", eng), scalarValidate(eng, algorithms.NewConnectedComponents())}, nil
+		run, apply, cl := wire(eng, cfg)
+		return &runner{run, apply, cl, scalarReport("component", eng), scalarValidate(eng, algorithms.NewConnectedComponents())}, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}

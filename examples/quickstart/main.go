@@ -37,10 +37,13 @@ func main() {
 	printRanks("before mutation", eng.Values())
 
 	// Page 3 appears: two new links arrive as one atomic batch.
-	st = eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{
+	st, err = eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{
 		{From: 0, To: 3, Weight: 1},
 		{From: 3, To: 0, Weight: 1},
 	}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("mutation batch: %d edge computations (refinement, not recompute)\n", st.EdgeComputations)
 	printRanks("after mutation", eng.Values())
 

@@ -71,7 +71,10 @@ func main() {
 		}
 		loaded = append(loaded, batch.Add...)
 
-		st := eng.ApplyBatch(batch)
+		st, err := eng.ApplyBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\nbatch %d (+%d -%d rating edges): %d edge computations in %v\n",
 			batchNo, len(batch.Add), len(batch.Del), st.EdgeComputations, st.Duration.Round(1000))
 		printTopItems(eng, watched)

@@ -49,7 +49,10 @@ func main() {
 
 	for round := 1; round <= 5; round++ {
 		batch := makeTraffic(gb.Graph(), r)
-		gbStats := gb.ApplyBatch(batch)
+		gbStats, err := gb.ApplyBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ksBefore := ks.EdgeComputations
 		ks.ApplyBatch(batch)
 

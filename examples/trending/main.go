@@ -54,7 +54,10 @@ func main() {
 	report(eng.Values())
 
 	for i, b := range s.Batches {
-		st := eng.ApplyBatch(b)
+		st, err := eng.ApplyBatch(b)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\nbatch %d (+%d follows, -%d unfollows): %d edge computations, %v\n",
 			i+1, len(b.Add), len(b.Del), st.EdgeComputations, st.Duration.Round(1000))
 		report(eng.Values())

@@ -29,10 +29,12 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/kickstarter"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Graph re-exports the immutable CSR+CSC snapshot type.
@@ -147,6 +149,52 @@ type (
 	CoEMAgg = algorithms.CoEMAgg
 	// CFAgg is collaborative filtering's ⟨Gram matrix, vector⟩ aggregate.
 	CFAgg = algorithms.CFAgg
+)
+
+// DurableEngine wraps an Engine with a write-ahead log and periodic
+// checkpoints: every batch is journaled before it mutates memory, and
+// OpenDurable recovers the exact pre-crash state from disk.
+type DurableEngine[V, A any] = durable.Engine[V, A]
+
+// DurableOptions configures journaling and checkpoint cadence.
+type DurableOptions = durable.Options
+
+// RecoveryInfo reports how OpenDurable reconstructed engine state.
+type RecoveryInfo = durable.RecoveryInfo
+
+// WALOptions configures the write-ahead log (sync policy).
+type WALOptions = wal.Options
+
+// SyncPolicy selects when journal appends reach stable storage.
+type SyncPolicy = wal.SyncPolicy
+
+// Journal sync policies.
+const (
+	// SyncEveryBatch fsyncs after every batch (no acknowledged batch is
+	// ever lost; the default).
+	SyncEveryBatch = wal.SyncEveryBatch
+	// SyncInterval fsyncs at most once per WALOptions.Interval.
+	SyncInterval = wal.SyncInterval
+	// SyncNone leaves flushing to the OS (clean-shutdown durability only).
+	SyncNone = wal.SyncNone
+)
+
+// OpenDurable wraps a freshly constructed engine with durability backed
+// by dir, recovering any checkpoint and journal a previous process left
+// there. See the durable package docs for the recovery protocol.
+func OpenDurable[V, A any](eng *Engine[V, A], dir string, opts DurableOptions) (*DurableEngine[V, A], error) {
+	return durable.Open(eng, dir, opts)
+}
+
+// Typed failure sentinels, for errors.Is.
+var (
+	// ErrSnapshotCorrupt reports an unreadable or bit-rotted checkpoint.
+	ErrSnapshotCorrupt = core.ErrSnapshotCorrupt
+	// ErrSnapshotVersion reports a checkpoint from an incompatible format.
+	ErrSnapshotVersion = core.ErrSnapshotVersion
+	// ErrInvalidEdge reports a rejected malformed edge (out-of-range
+	// endpoint, NaN or infinite weight).
+	ErrInvalidEdge = graph.ErrInvalidEdge
 )
 
 // Stream re-exports mutation-stream construction.

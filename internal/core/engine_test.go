@@ -130,7 +130,7 @@ func refinementOracle[V any](
 	label string,
 	build func(g *graph.Graph, mode core.Mode, opts core.Options) interface {
 		Run() core.Stats
-		ApplyBatch(graph.Batch) core.Stats
+		ApplyBatch(graph.Batch) (core.Stats, error)
 		Values() []V
 		Graph() *graph.Graph
 	},
@@ -153,7 +153,7 @@ func refinementOracle[V any](
 
 type scalarEngine interface {
 	Run() core.Stats
-	ApplyBatch(graph.Batch) core.Stats
+	ApplyBatch(graph.Batch) (core.Stats, error)
 	Values() []float64
 	Graph() *graph.Graph
 }
@@ -418,11 +418,11 @@ func TestGraphBoltDoesLessEdgeWorkThanReset(t *testing.T) {
 	gb := build(g, core.ModeGraphBolt, opts)
 	gb.Run()
 	batch := makeBatch(g, 777, 10, 5)
-	gbStats := gb.ApplyBatch(batch)
+	gbStats, _ := gb.ApplyBatch(batch)
 
 	reset := build(g, core.ModeReset, opts)
 	reset.Run()
-	resetStats := reset.ApplyBatch(batch)
+	resetStats, _ := reset.ApplyBatch(batch)
 
 	if gbStats.EdgeComputations >= resetStats.EdgeComputations {
 		t.Fatalf("GraphBolt edge work %d not below GB-Reset %d",

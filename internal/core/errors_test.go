@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+func pagerankEngine(t *testing.T, n, m int) *core.Engine[float64, float64] {
+	t.Helper()
+	g := graph.MustBuild(n, gen.RMAT(7, n, m, gen.WeightUniform))
+	e, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), core.Options{MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestApplyBatchRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		b    graph.Batch
+	}{
+		{"nan weight", graph.Batch{Add: []graph.Edge{{From: 0, To: 1, Weight: math.NaN()}}}},
+		{"inf weight", graph.Batch{Add: []graph.Edge{{From: 0, To: 1, Weight: math.Inf(-1)}}}},
+		{"id above cap", graph.Batch{Add: []graph.Edge{{From: graph.MaxVertexID + 1, To: 0, Weight: 1}}}},
+		{"bad delete id", graph.Batch{Del: []graph.Edge{{From: 0, To: graph.MaxVertexID + 9}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := pagerankEngine(t, 50, 300)
+			e.Run()
+			before := append([]float64(nil), e.Values()...)
+			level := e.Level()
+			_, err := e.ApplyBatch(tc.b)
+			if err == nil {
+				t.Fatal("malformed batch accepted")
+			}
+			if !errors.Is(err, graph.ErrInvalidEdge) {
+				t.Fatalf("err = %v, want errors.Is(..., graph.ErrInvalidEdge)", err)
+			}
+			// Rejection must happen before any state changes.
+			if e.Level() != level {
+				t.Fatalf("level moved from %d to %d on a rejected batch", level, e.Level())
+			}
+			scalarsMatch(t, e.Values(), before, 0, "values after rejected batch")
+		})
+	}
+}
+
+// panicProgram wraps PageRank with a Compute that panics on one vertex,
+// standing in for a buggy user-supplied vertex function in a serving
+// process.
+type panicProgram struct {
+	inner core.Program[float64, float64]
+	bad   core.VertexID
+}
+
+func (p *panicProgram) InitValue(v core.VertexID) float64 { return p.inner.InitValue(v) }
+func (p *panicProgram) IdentityAgg() float64              { return p.inner.IdentityAgg() }
+func (p *panicProgram) Propagate(agg *float64, src float64, u, v core.VertexID, w float64, d int) {
+	p.inner.Propagate(agg, src, u, v, w, d)
+}
+func (p *panicProgram) Retract(agg *float64, src float64, u, v core.VertexID, w float64, d int) {
+	p.inner.Retract(agg, src, u, v, w, d)
+}
+func (p *panicProgram) Compute(v core.VertexID, agg float64) float64 {
+	if v == p.bad {
+		panic("vertex function bug")
+	}
+	return p.inner.Compute(v, agg)
+}
+func (p *panicProgram) Changed(oldV, newV float64) bool { return p.inner.Changed(oldV, newV) }
+func (p *panicProgram) CloneAgg(a float64) float64      { return a }
+func (p *panicProgram) AggBytes(a float64) int          { return p.inner.AggBytes(a) }
+
+func TestApplyBatchRecoversProgramPanic(t *testing.T) {
+	g := graph.MustBuild(200, gen.RMAT(9, 200, 1200, gen.WeightUniform))
+	// The bad vertex only exists after the batch grows the graph, so the
+	// initial run succeeds and the panic fires during ApplyBatch.
+	p := &panicProgram{inner: algorithms.NewPageRank(), bad: 200}
+	e, err := core.NewEngine[float64, float64](g, p, core.Options{MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	_, err = e.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 0, To: 200, Weight: 1}}})
+	if err == nil {
+		t.Fatal("panicking program did not surface an error")
+	}
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T (%v) does not wrap *parallel.PanicError", err, err)
+	}
+}
+
+func validSnapshot(t *testing.T) []byte {
+	t.Helper()
+	e := pagerankEngine(t, 80, 500)
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readInto(t *testing.T, data []byte) error {
+	t.Helper()
+	e, err := core.NewEngine[float64, float64](graph.MustBuild(1, nil), algorithms.NewPageRank(), core.Options{MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.ReadSnapshot(bytes.NewReader(data))
+}
+
+// fixCRC recomputes the trailing CRC32C so tests can tamper with the
+// body while keeping the frame "intact" (to reach version checks).
+func fixCRC(data []byte) {
+	sum := crc32.Checksum(data[:len(data)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-4:], sum)
+}
+
+func TestReadSnapshotCorruptionDetected(t *testing.T) {
+	snap := validSnapshot(t)
+
+	t.Run("zero length", func(t *testing.T) {
+		if err := readInto(t, nil); !errors.Is(err, core.ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if err := readInto(t, snap[:len(snap)/2]); !errors.Is(err, core.ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[0] ^= 0xFF
+		if err := readInto(t, bad); !errors.Is(err, core.ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("bit flip in payload", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[len(bad)/2] ^= 0x10
+		if err := readInto(t, bad); !errors.Is(err, core.ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("version mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		binary.LittleEndian.PutUint32(bad[8:12], 9999)
+		fixCRC(bad)
+		err := readInto(t, bad)
+		if !errors.Is(err, core.ErrSnapshotVersion) {
+			t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+		}
+		if errors.Is(err, core.ErrSnapshotCorrupt) {
+			t.Fatalf("version mismatch also reported as corruption: %v", err)
+		}
+	})
+}

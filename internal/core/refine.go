@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/bitset"
@@ -13,35 +14,51 @@ import (
 // values up to date for the new snapshot according to the engine mode:
 // dependency-driven refinement (GraphBolt), restart (Ligra/GB-Reset), or
 // direct value reuse (Naive). It returns the work performed by this call.
-func (e *Engine[V, A]) ApplyBatch(b graph.Batch) Stats {
-	start := time.Now()
-	oldG := e.g
-	newG, res := oldG.Apply(b)
-
-	var st Stats
-	switch {
-	case !e.ran:
-		// No prior run: install the new snapshot and compute fresh.
-		e.g = newG
-		st = e.Run()
-		// Run already recorded its own duration/stats.
-		return st
-	case e.opts.Mode == ModeLigra || e.opts.Mode == ModeReset:
-		e.g = newG
-		e.resetState()
-		if e.opts.Mode == ModeLigra {
-			st = e.runLigra()
-		} else {
-			st = e.runDelta(1, nil, e.opts.MaxIterations)
-		}
-	case e.opts.Mode == ModeNaive:
-		st = e.naiveContinue(oldG, newG, res)
-	default: // ModeGraphBolt, ModeGraphBoltRP
-		st = e.refine(oldG, newG, res)
+//
+// The batch is validated first (graph.Batch.Validate): malformed input —
+// NaN/Inf weights, vertex ids beyond graph.MaxVertexID — is rejected
+// with an error before any state changes. A panic escaping the program's
+// vertex functions is recovered and returned as an error (wrapping
+// *parallel.PanicError with the offending vertex range); the engine's
+// in-memory state is undefined afterwards and the engine must be
+// discarded — a durable wrapper can reopen from its last checkpoint.
+func (e *Engine[V, A]) ApplyBatch(b graph.Batch) (Stats, error) {
+	if err := b.Validate(); err != nil {
+		return Stats{}, fmt.Errorf("core: apply batch: %w", err)
 	}
-	st.Duration = time.Since(start)
-	e.stats.Add(st)
-	return st
+	var st Stats
+	err := parallel.Catch(func() {
+		start := time.Now()
+		oldG := e.g
+		newG, res := oldG.Apply(b)
+
+		switch {
+		case !e.ran:
+			// No prior run: install the new snapshot and compute fresh.
+			e.g = newG
+			st = e.Run()
+			// Run already recorded its own duration/stats.
+			return
+		case e.opts.Mode == ModeLigra || e.opts.Mode == ModeReset:
+			e.g = newG
+			e.resetState()
+			if e.opts.Mode == ModeLigra {
+				st = e.runLigra()
+			} else {
+				st = e.runDelta(1, nil, e.opts.MaxIterations)
+			}
+		case e.opts.Mode == ModeNaive:
+			st = e.naiveContinue(oldG, newG, res)
+		default: // ModeGraphBolt, ModeGraphBoltRP
+			st = e.refine(oldG, newG, res)
+		}
+		st.Duration = time.Since(start)
+		e.stats.Add(st)
+	})
+	if err != nil {
+		return Stats{}, fmt.Errorf("core: apply batch: %w", err)
+	}
+	return st, nil
 }
 
 // tailFix records a vertex whose history was extended by refinement: if a

@@ -121,7 +121,7 @@ func TestStatsAccumulate(t *testing.T) {
 	g := graph.MustBuild(50, gen.RMAT(94, 50, 300, gen.WeightUnit))
 	eng, _ := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), core.Options{MaxIterations: 5})
 	st1 := eng.Run()
-	st2 := eng.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 1, To: 2, Weight: 1}}})
+	st2, _ := eng.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 1, To: 2, Weight: 1}}})
 	total := eng.TotalStats()
 	if total.EdgeComputations != st1.EdgeComputations+st2.EdgeComputations {
 		t.Fatalf("cumulative edges %d != %d + %d",

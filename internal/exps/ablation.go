@@ -39,7 +39,7 @@ func Ablation(cfg Config) error {
 		opts := core.Options{MaxIterations: cfg.Iterations, Horizon: h}
 		eng := lp.Build(s.Base, core.ModeGraphBolt, opts)
 		eng.Run()
-		st := eng.ApplyBatch(batch)
+		st := MustApply(eng, batch)
 		cfg.printf("%-9d %12.2f %12d %14d\n", h, ms(st.Duration), st.EdgeComputations, eng.HistoryBytes())
 	}
 
@@ -50,7 +50,7 @@ func Ablation(cfg Config) error {
 		opts := core.Options{MaxIterations: cfg.Iterations, DisableVerticalPruning: disabled}
 		eng := lp.Build(s.Base, core.ModeGraphBolt, opts)
 		eng.Run()
-		st := eng.ApplyBatch(batch)
+		st := MustApply(eng, batch)
 		name := "on"
 		if disabled {
 			name = "off"
@@ -65,7 +65,7 @@ func Ablation(cfg Config) error {
 		opts := core.Options{MaxIterations: cfg.Iterations}
 		eng := pr.Build(s.Base, mode, opts)
 		eng.Run()
-		st := eng.ApplyBatch(batch)
+		st := MustApply(eng, batch)
 		cfg.printf("%-14s %12.2f %12d\n", mode, ms(st.Duration), st.EdgeComputations)
 	}
 	return nil

@@ -118,8 +118,18 @@ func (c Config) NewStreamOpts(spec GraphSpec, batchSize, numBatches int, w gen.W
 // Runner abstracts a typed engine so drivers can sweep algorithms.
 type Runner interface {
 	Run() core.Stats
-	ApplyBatch(graph.Batch) core.Stats
+	ApplyBatch(graph.Batch) (core.Stats, error)
 	HistoryBytes() int64
+}
+
+// MustApply applies a batch that is valid by construction; the drivers
+// generate their own workloads, so an error here is a bug.
+func MustApply(r Runner, b graph.Batch) core.Stats {
+	st, err := r.ApplyBatch(b)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 // Algo names an algorithm and knows how to build an engine for it.
@@ -195,7 +205,7 @@ func MeasureMutation(a Algo, g *graph.Graph, mode core.Mode, opts core.Options, 
 	eng := a.Build(g, mode, opts)
 	eng.Run()
 	start := time.Now()
-	st := eng.ApplyBatch(batch)
+	st := MustApply(eng, batch)
 	return MutationResult{Duration: time.Since(start), Stats: st}
 }
 

@@ -1,0 +1,94 @@
+// Package faultio provides io.Writer wrappers that inject storage
+// faults — hard failures after a byte budget, short writes, and bit
+// flips — so crash-safety code (WAL framing, checkpoint protocols) can
+// be exercised against torn and corrupted writes deterministically,
+// without killing processes or yanking disks.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error returned once a Writer's byte budget
+// is exhausted. Tests distinguish injected failures from real ones with
+// errors.Is.
+var ErrInjected = errors.New("faultio: injected write failure")
+
+// Writer wraps an io.Writer and injects configured faults. The zero
+// value (or NewWriter) passes writes through unchanged; arm faults with
+// FailAfter and FlipBit. Faults compose: a write can both carry a bit
+// flip and be cut short.
+type Writer struct {
+	w io.Writer
+
+	failAfter int64 // bytes accepted before failing; -1 = disabled
+	failErr   error
+
+	flipAt  int64 // byte offset (across all writes) whose bit flips; -1 = disabled
+	flipBit uint  // bit index 0..7
+
+	written int64
+}
+
+// NewWriter returns a pass-through Writer over w with no faults armed.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, failAfter: -1, flipAt: -1}
+}
+
+// FailAfter arms a hard failure once n total bytes have been accepted:
+// the write that crosses the budget is truncated to the remaining
+// budget (a short write — the torn-tail crash model) and returns err
+// (ErrInjected if nil), as do all subsequent writes. Returns the
+// receiver for chaining.
+func (f *Writer) FailAfter(n int64, err error) *Writer {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.failAfter, f.failErr = n, err
+	return f
+}
+
+// FlipBit arms a single bit flip at absolute byte offset off (counting
+// every byte ever written through f), bit index bit (0..7) — the silent
+// corruption model. Returns the receiver for chaining.
+func (f *Writer) FlipBit(off int64, bit uint) *Writer {
+	f.flipAt, f.flipBit = off, bit%8
+	return f
+}
+
+// Written reports the total bytes accepted so far (i.e. passed to the
+// underlying writer).
+func (f *Writer) Written() int64 { return f.written }
+
+// Write applies armed faults, forwards the (possibly mangled or
+// truncated) data, and accounts accepted bytes.
+func (f *Writer) Write(p []byte) (int, error) {
+	n := len(p)
+	var failing bool
+	if f.failAfter >= 0 {
+		remaining := f.failAfter - f.written
+		if remaining <= 0 {
+			return 0, f.failErr
+		}
+		if int64(n) > remaining {
+			n = int(remaining)
+			failing = true
+		}
+	}
+	buf := p[:n]
+	if f.flipAt >= 0 && f.flipAt >= f.written && f.flipAt < f.written+int64(n) {
+		mangled := append([]byte(nil), buf...)
+		mangled[f.flipAt-f.written] ^= 1 << f.flipBit
+		buf = mangled
+	}
+	wrote, err := f.w.Write(buf)
+	f.written += int64(wrote)
+	if err != nil {
+		return wrote, err
+	}
+	if failing {
+		return wrote, f.failErr
+	}
+	return wrote, nil
+}

@@ -1,0 +1,73 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "hello" || w.Written() != 5 {
+		t.Fatalf("got %q, written %d", buf.String(), w.Written())
+	}
+}
+
+func TestFailAfterShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf).FailAfter(7, nil)
+	n, err := w.Write([]byte("0123"))
+	if n != 4 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// This write crosses the budget: 3 bytes land, then the error.
+	n, err = w.Write([]byte("456789"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "0123456" {
+		t.Fatalf("underlying holds %q, want torn prefix %q", buf.String(), "0123456")
+	}
+	// Everything after the budget fails outright.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write: n=%d err=%v", n, err)
+	}
+}
+
+func TestFailAfterCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	w := NewWriter(&bytes.Buffer{}).FailAfter(0, sentinel)
+	if _, err := w.Write([]byte("a")); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf).FlipBit(6, 3)
+	if _, err := w.Write([]byte("0123")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("4567")); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'0', '1', '2', '3', '4', '5', '6' ^ 0x08, '7'}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("got %v, want %v", buf.Bytes(), want)
+	}
+}
+
+func TestFlipBitDoesNotMutateInput(t *testing.T) {
+	src := []byte{0xAA, 0xBB}
+	w := NewWriter(&bytes.Buffer{}).FlipBit(1, 0)
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if src[1] != 0xBB {
+		t.Fatalf("input slice mutated: %v", src)
+	}
+}

@@ -108,12 +108,19 @@ func (g *Graph) Edges(dst []Edge) []Edge {
 }
 
 // Build constructs a snapshot from an edge list. n is the number of
-// vertices; every endpoint must be < n. Parallel edges and self loops are
-// preserved.
+// vertices; every endpoint must be < n and every weight finite (NaN and
+// ±Inf are rejected, see ValidateEdge). Parallel edges and self loops
+// are preserved.
 func Build(n int, edges []Edge) (*Graph, error) {
-	for _, e := range edges {
-		if int(e.From) >= n || int(e.To) >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) outside vertex range [0,%d)", e.From, e.To, n)
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for i, e := range edges {
+		if int64(e.From) >= int64(n) || int64(e.To) >= int64(n) {
+			return nil, fmt.Errorf("graph: edge %d (%d,%d) outside vertex range [0,%d)", i, e.From, e.To, n)
+		}
+		if err := ValidateEdge(e); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
 		}
 	}
 	g := &Graph{n: n, m: int64(len(edges))}

@@ -120,7 +120,13 @@ func mutateAdjacency(a *adjacency, oldN, n int, add, del []Edge, transpose bool)
 
 			di, ai := 0, 0
 			for i, t := range ts {
-				for ai < len(ab.targets) && ab.targets[ai] < t {
+				// Insert additions in (target, weight) order so the merged
+				// list keeps the canonical ordering buildAdjacency
+				// establishes; a graph round-tripped through Edges+Build
+				// (checkpointing) must match this one instance-for-instance,
+				// or later deletions of parallel edges pick different copies.
+				for ai < len(ab.targets) && (ab.targets[ai] < t ||
+					(ab.targets[ai] == t && ab.weights[ai] < ws[i])) {
 					na.targets[pos] = ab.targets[ai]
 					na.weights[pos] = ab.weights[ai]
 					pos++

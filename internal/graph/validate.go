@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxVertexID caps the vertex ids accepted from untrusted input (stream
+// files, WAL replay, RPC). Ids are dense and additions grow the vertex
+// set to max(id)+1, so an absurd id would allocate gigabytes of CSR
+// state before any algorithm runs; 2^31-1 is far beyond any workload
+// this engine targets while still fitting comfortably in int on 64-bit
+// and 32-bit builds alike.
+const MaxVertexID VertexID = 1<<31 - 1
+
+// ErrInvalidEdge tags every validation failure produced by ValidateEdge,
+// Batch.Validate and Build, so callers can branch with errors.Is.
+var ErrInvalidEdge = errors.New("graph: invalid edge")
+
+// ValidateEdge checks a single edge for use as an addition: endpoints
+// within [0, MaxVertexID] and a finite weight. NaN and ±Inf weights are
+// rejected because they poison every aggregate they touch (NaN never
+// compares equal, so convergence checks livelock; Inf swallows
+// retractions, breaking the refinement guarantee).
+func ValidateEdge(e Edge) error {
+	if e.From > MaxVertexID || e.To > MaxVertexID {
+		return fmt.Errorf("%w: (%d,%d) endpoint exceeds MaxVertexID %d", ErrInvalidEdge, e.From, e.To, MaxVertexID)
+	}
+	if math.IsNaN(e.Weight) {
+		return fmt.Errorf("%w: (%d,%d) has NaN weight", ErrInvalidEdge, e.From, e.To)
+	}
+	if math.IsInf(e.Weight, 0) {
+		return fmt.Errorf("%w: (%d,%d) has infinite weight", ErrInvalidEdge, e.From, e.To)
+	}
+	return nil
+}
+
+// Validate checks every mutation in the batch: additions must be valid
+// edges (ValidateEdge); deletion requests need only in-range endpoints —
+// their weights are ignored, and deletes that match no edge are already
+// reported as MissingDeletes by Apply rather than treated as errors.
+// A zero batch is valid (an explicit no-op tick).
+func (b Batch) Validate() error {
+	for i, e := range b.Add {
+		if err := ValidateEdge(e); err != nil {
+			return fmt.Errorf("add[%d]: %w", i, err)
+		}
+	}
+	for i, e := range b.Del {
+		if e.From > MaxVertexID || e.To > MaxVertexID {
+			return fmt.Errorf("del[%d]: %w: (%d,%d) endpoint exceeds MaxVertexID %d",
+				i, ErrInvalidEdge, e.From, e.To, MaxVertexID)
+		}
+	}
+	return nil
+}

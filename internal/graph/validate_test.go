@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBuildRejectsMalformedEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"from out of range", 3, []Edge{{From: 3, To: 0, Weight: 1}}},
+		{"to out of range", 3, []Edge{{From: 0, To: 7, Weight: 1}}},
+		{"huge id", 3, []Edge{{From: 0, To: math.MaxUint32, Weight: 1}}},
+		{"nan weight", 3, []Edge{{From: 0, To: 1, Weight: math.NaN()}}},
+		{"+inf weight", 3, []Edge{{From: 0, To: 1, Weight: math.Inf(1)}}},
+		{"-inf weight", 3, []Edge{{From: 0, To: 1, Weight: math.Inf(-1)}}},
+		{"negative vertex count", -1, nil},
+		{"bad edge after good ones", 2, []Edge{{From: 0, To: 1, Weight: 1}, {From: 1, To: 0, Weight: math.NaN()}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Build(tc.n, tc.edges); err == nil {
+				t.Fatalf("Build(%d, %v) succeeded, want error", tc.n, tc.edges)
+			}
+		})
+	}
+	// And the errors it must NOT produce: valid inputs.
+	if _, err := Build(0, nil); err != nil {
+		t.Fatalf("Build(0, nil): %v", err)
+	}
+	if _, err := Build(2, []Edge{{From: 0, To: 1, Weight: -2.5}, {From: 1, To: 1, Weight: 0}}); err != nil {
+		t.Fatalf("Build with negative weight and self loop should be valid: %v", err)
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Batch
+		ok   bool
+	}{
+		{"zero batch", Batch{}, true},
+		{"valid add and del", Batch{
+			Add: []Edge{{From: 0, To: 1, Weight: 2}},
+			Del: []Edge{{From: 5, To: 9}},
+		}, true},
+		{"del beyond current graph is fine", Batch{Del: []Edge{{From: 1 << 20, To: 7}}}, true},
+		{"nan add weight", Batch{Add: []Edge{{From: 0, To: 1, Weight: math.NaN()}}}, false},
+		{"inf add weight", Batch{Add: []Edge{{From: 0, To: 1, Weight: math.Inf(1)}}}, false},
+		{"add id above cap", Batch{Add: []Edge{{From: MaxVertexID + 1, To: 0, Weight: 1}}}, false},
+		{"del id above cap", Batch{Del: []Edge{{From: 0, To: MaxVertexID + 1}}}, false},
+		{"del weight ignored even if NaN", Batch{Del: []Edge{{From: 0, To: 1, Weight: math.NaN()}}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.b.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate() = nil, want error")
+				}
+				if !errors.Is(err, ErrInvalidEdge) {
+					t.Fatalf("Validate() = %v, want errors.Is(..., ErrInvalidEdge)", err)
+				}
+			}
+		})
+	}
+}

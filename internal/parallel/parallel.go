@@ -30,6 +30,12 @@ func For(n int, body func(i int)) {
 }
 
 // ForGrain is For with an explicit grain size.
+//
+// A panic in the body is recovered inside the worker (an unrecovered
+// panic in a spawned goroutine would kill the process), the remaining
+// chunks are cancelled, and after all workers drain the first panic is
+// re-raised on the calling goroutine as a *PanicError carrying the
+// offending index range. The same holds for ForRange and ForWorker.
 func ForGrain(n, grain int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -38,10 +44,14 @@ func ForGrain(n, grain int, body func(i int)) {
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
+	var box panicBox
 	if p == 1 || n <= grain {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
+		box.run(0, n, func() {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+		})
+		box.rethrow()
 		return
 	}
 	var next atomic.Int64
@@ -53,7 +63,7 @@ func ForGrain(n, grain int, body func(i int)) {
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !box.tripped.Load() {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
@@ -62,13 +72,16 @@ func ForGrain(n, grain int, body func(i int)) {
 				if end > n {
 					end = n
 				}
-				for i := start; i < end; i++ {
-					body(i)
-				}
+				box.run(start, end, func() {
+					for i := start; i < end; i++ {
+						body(i)
+					}
+				})
 			}
 		}()
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // ForRange runs body(start, end) over disjoint subranges covering [0, n),
@@ -82,8 +95,10 @@ func ForRange(n, grain int, body func(start, end int)) {
 		grain = DefaultGrain
 	}
 	p := Procs()
+	var box panicBox
 	if p == 1 || n <= grain {
-		body(0, n)
+		box.run(0, n, func() { body(0, n) })
+		box.rethrow()
 		return
 	}
 	var next atomic.Int64
@@ -95,7 +110,7 @@ func ForRange(n, grain int, body func(start, end int)) {
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !box.tripped.Load() {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
@@ -104,11 +119,12 @@ func ForRange(n, grain int, body func(start, end int)) {
 				if end > n {
 					end = n
 				}
-				body(start, end)
+				box.run(start, end, func() { body(start, end) })
 			}
 		}()
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // ForWorker runs body(worker, start, end) like ForRange but also passes a
@@ -122,8 +138,10 @@ func ForWorker(n, grain int, body func(worker, start, end int)) {
 		grain = DefaultGrain
 	}
 	p := Procs()
+	var box panicBox
 	if p == 1 || n <= grain {
-		body(0, 0, n)
+		box.run(0, n, func() { body(0, 0, n) })
+		box.rethrow()
 		return
 	}
 	if needed := (n + grain - 1) / grain; p > needed {
@@ -135,7 +153,7 @@ func ForWorker(n, grain int, body func(worker, start, end int)) {
 	for w := 0; w < p; w++ {
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for !box.tripped.Load() {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
@@ -144,11 +162,12 @@ func ForWorker(n, grain int, body func(worker, start, end int)) {
 				if end > n {
 					end = n
 				}
-				body(worker, start, end)
+				box.run(start, end, func() { body(worker, start, end) })
 			}
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // Workers returns an upper bound on the worker ids ForWorker passes to its

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is a panic recovered from a parallel loop body. Without
+// recovery, a panic inside one of the loop's worker goroutines would
+// kill the whole process (no caller can defer around another
+// goroutine); the loop primitives instead capture the first panic,
+// cancel the remaining work, and re-raise it as a *PanicError on the
+// calling goroutine, where a serving layer can recover it and degrade
+// to an error response.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Start and End delimit the loop index range ([Start,End)) the
+	// panicking worker was processing — for the engine, the vertex range
+	// whose vertex function misbehaved.
+	Start, End int
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error formats the panic with the offending index range.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic in worker over indices [%d,%d): %v", e.Start, e.End, e.Value)
+}
+
+// Unwrap exposes the panic value when it already was an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Catch runs f and converts a panic escaping it — including the
+// *PanicError the loop primitives re-raise — into a returned error.
+// This is the boundary helper serving layers use around engine calls.
+func Catch(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Start: -1, End: -1, Stack: debug.Stack()}
+		}
+	}()
+	f()
+	return nil
+}
+
+// panicBox collects the first panic across a loop's workers and lets
+// the claim loops observe that work should stop.
+type panicBox struct {
+	mu      sync.Mutex
+	pe      *PanicError
+	tripped atomic.Bool
+}
+
+// run executes fn for the index range [start,end), recovering a panic
+// into the box. Returns false when the loop should stop claiming work.
+func (b *panicBox) run(start, end int, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.mu.Lock()
+			if b.pe == nil {
+				b.pe = &PanicError{Value: r, Start: start, End: end, Stack: debug.Stack()}
+			}
+			b.mu.Unlock()
+			b.tripped.Store(true)
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises the recorded panic (if any) on the caller's
+// goroutine, after all workers have exited.
+func (b *panicBox) rethrow() {
+	if b.tripped.Load() {
+		b.mu.Lock()
+		pe := b.pe
+		b.mu.Unlock()
+		panic(pe)
+	}
+}

@@ -59,6 +59,87 @@ func TestReadBatchesEmptyBatchesSkipped(t *testing.T) {
 	}
 }
 
+func TestWriteBatchesElidesEmpty(t *testing.T) {
+	// An empty batch serializes as a lone "#batch" separator, which the
+	// reader folds into the next batch: empty batches do not survive a
+	// round trip. The durable layer journals them binary precisely so
+	// no-op ticks keep their sequence numbers; the text format is for
+	// streams where only effects matter.
+	in := []graph.Batch{
+		{Add: []graph.Edge{{From: 0, To: 1, Weight: 1}}},
+		{}, // elided
+		{Del: []graph.Edge{{From: 0, To: 1}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteBatches(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBatches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Batch{in[0], in[2]}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("round trip:\nout =%v\nwant=%v", out, want)
+	}
+}
+
+func TestDeletionOnlyBatchRoundTrip(t *testing.T) {
+	// Deletions serialize endpoints only: a weight on a delete request is
+	// documented as ignored (matching is by (From,To)), and the round
+	// trip normalizes it away.
+	in := []graph.Batch{{Del: []graph.Edge{{From: 5, To: 9, Weight: 7}, {From: 2, To: 2}}}}
+	var buf bytes.Buffer
+	if err := WriteBatches(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBatches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Batch{{Del: []graph.Edge{{From: 5, To: 9}, {From: 2, To: 2}}}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("round trip:\nout =%v\nwant=%v", out, want)
+	}
+}
+
+func TestRoundTripWeightFidelity(t *testing.T) {
+	// %g prints the shortest representation that parses back exactly, so
+	// weights must survive the text round trip bit-for-bit.
+	weights := []float64{0.1, 1.0 / 3.0, 1e-17, 6.02214076e23, -2.5}
+	in := []graph.Batch{{}}
+	for i, w := range weights {
+		in[0].Add = append(in[0].Add, graph.Edge{From: 0, To: graph.VertexID(i), Weight: w})
+	}
+	var buf bytes.Buffer
+	if err := WriteBatches(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBatches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range weights {
+		if got := out[0].Add[i].Weight; got != w {
+			t.Errorf("weight %d: wrote %v, read %v", i, w, got)
+		}
+	}
+}
+
+func TestReadBatchesMalformedIDs(t *testing.T) {
+	for _, bad := range []string{
+		"a -1 2 1\n",          // negative source
+		"a 1 -2 1\n",          // negative target
+		"a 4294967296 0 1\n",  // source overflows uint32
+		"d 0 4294967296\n",    // target overflows uint32
+		"a 0 1 1 extra junk that is fine\n#batch\na\n", // short line after valid one
+	} {
+		if _, err := ReadBatches(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
 func TestDeleteVertexRemovesAllIncidentEdges(t *testing.T) {
 	g := graph.MustBuild(4, []graph.Edge{
 		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1},

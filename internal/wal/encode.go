@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Batch payload encoding: a compact, deterministic binary layout —
+// deliberately not gob, whose per-stream type preamble would bloat
+// every record and whose decoder tolerates more malformed input than a
+// log should.
+//
+//	payload = uvarint len(Add) edge* uvarint len(Del) edge*
+//	edge    = u32 from | u32 to | u64 float64-bits(weight)
+func appendBatch(buf []byte, b graph.Batch) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b.Add)))
+	for _, e := range b.Add {
+		buf = appendEdge(buf, e)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.Del)))
+	for _, e := range b.Del {
+		buf = appendEdge(buf, e)
+	}
+	return buf
+}
+
+func appendEdge(buf []byte, e graph.Edge) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, e.From)
+	buf = binary.LittleEndian.AppendUint32(buf, e.To)
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+}
+
+const edgeBytes = 16
+
+// decodeBatch parses a payload produced by appendBatch. Every length is
+// validated against the remaining bytes before allocating, so a record
+// that passes its CRC but was encoded by a buggy writer still fails
+// cleanly instead of panicking or over-allocating.
+func decodeBatch(p []byte) (graph.Batch, error) {
+	var b graph.Batch
+	adds, p, err := decodeEdgeList(p, "add")
+	if err != nil {
+		return graph.Batch{}, err
+	}
+	dels, p, err := decodeEdgeList(p, "del")
+	if err != nil {
+		return graph.Batch{}, err
+	}
+	if len(p) != 0 {
+		return graph.Batch{}, fmt.Errorf("wal: %d trailing bytes after batch payload", len(p))
+	}
+	b.Add, b.Del = adds, dels
+	return b, nil
+}
+
+func decodeEdgeList(p []byte, what string) ([]graph.Edge, []byte, error) {
+	n, used := binary.Uvarint(p)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("wal: bad %s count", what)
+	}
+	p = p[used:]
+	if n > uint64(len(p))/edgeBytes {
+		return nil, nil, fmt.Errorf("wal: %s count %d exceeds remaining payload (%d bytes)", what, n, len(p))
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			From:   binary.LittleEndian.Uint32(p[0:4]),
+			To:     binary.LittleEndian.Uint32(p[4:8]),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(p[8:16])),
+		}
+		p = p[edgeBytes:]
+	}
+	return edges, p, nil
+}

@@ -1,0 +1,330 @@
+// Package wal implements a crash-safe write-ahead log for graph
+// mutation batches. A durable engine journals every batch here before
+// mutating in-memory state; after a crash, recovery replays the log on
+// top of the last checkpoint.
+//
+// On-disk format (all integers little-endian):
+//
+//	file   = magic ("GBWAL001") record*
+//	record = u32 length | u32 crc32c(body) | body
+//	body   = u64 seq | batch payload (see encode.go)
+//
+// Each record is written with a single Write call, so a crash leaves at
+// most one torn record at the tail. Open scans the log, keeps the
+// longest valid prefix, and truncates the rest: a torn or bit-flipped
+// record ends recovery at the last valid record — it is never applied —
+// and the file is repaired in place so appends continue from there.
+//
+// Records carry an application-assigned sequence number so a checkpoint
+// taken at sequence S can ignore leftover records ≤ S if a crash hits
+// between writing the checkpoint and truncating the log.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+)
+
+var fileMagic = [8]byte{'G', 'B', 'W', 'A', 'L', '0', '0', '1'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-record length+CRC prefix.
+const frameHeaderSize = 8
+
+// maxRecordBytes bounds a record body so a corrupted length prefix
+// cannot force a multi-gigabyte allocation during recovery.
+const maxRecordBytes = 1 << 30
+
+// ErrNotWAL reports a file whose header is not a WAL of this format —
+// unlike a torn tail, this is not repairable by truncation and likely
+// means a misconfigured path.
+var ErrNotWAL = errors.New("wal: not a write-ahead log (bad file magic)")
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEveryBatch fsyncs after every append: no acknowledged batch is
+	// ever lost. The default.
+	SyncEveryBatch SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.Interval; a crash can
+	// lose the batches acknowledged since the last sync, but recovery
+	// still truncates cleanly to a valid prefix.
+	SyncInterval
+	// SyncNone never fsyncs explicitly (the OS flushes on its own
+	// schedule). Fastest; durability limited to clean shutdowns.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryBatch:
+		return "every"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a WAL.
+type Options struct {
+	// Sync selects the durability/latency trade-off. Default SyncEveryBatch.
+	Sync SyncPolicy
+	// Interval is the maximum time between fsyncs under SyncInterval.
+	// Default 100ms.
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Record is one journaled mutation batch.
+type Record struct {
+	// Seq is the application-assigned, strictly increasing sequence
+	// number (batch index since the stream began).
+	Seq uint64
+	// Batch is the journaled mutation set.
+	Batch graph.Batch
+}
+
+// RecoveryInfo describes what Open found in an existing log.
+type RecoveryInfo struct {
+	// Records is the number of valid records recovered.
+	Records int
+	// Truncated reports that invalid data (a torn tail or a corrupt
+	// record) followed the valid prefix and was cut off.
+	Truncated bool
+	// DroppedBytes counts the bytes discarded by that truncation.
+	DroppedBytes int64
+}
+
+// WAL is a file-backed write-ahead log. Not safe for concurrent use;
+// the durable engine serializes access the same way the core engine
+// serializes ApplyBatch.
+type WAL struct {
+	f    *os.File
+	w    io.Writer // == f in production; tests substitute a fault injector
+	opts Options
+
+	size      int64 // current valid file length
+	lastFrame int64 // length of the most recent append's frame, for Unappend
+	lastSync  time.Time
+	recovered []Record
+	info      RecoveryInfo
+}
+
+// Open opens (creating if absent) the log at path, scans it, truncates
+// any invalid suffix, and positions for appending. The records of the
+// valid prefix are available from Recovered until the first Append.
+func Open(path string, opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	w := &WAL{f: f, w: f, opts: opts, lastSync: time.Now()}
+	if err := w.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover scans the file, truncates the invalid suffix, and seeks to
+// the end of the valid prefix.
+func (w *WAL) recover() error {
+	fi, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat: %w", err)
+	}
+	if fi.Size() == 0 {
+		// Fresh log: write the header.
+		if _, err := w.f.Write(fileMagic[:]); err != nil {
+			return fmt.Errorf("wal: write header: %w", err)
+		}
+		w.size = int64(len(fileMagic))
+		return nil
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	records, valid, info, err := Scan(w.f)
+	if err != nil {
+		return err
+	}
+	info.DroppedBytes = fi.Size() - valid
+	info.Truncated = info.DroppedBytes > 0
+	w.recovered, w.info, w.size = records, info, valid
+	if info.Truncated {
+		if err := w.f.Truncate(valid); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return nil
+}
+
+// Scan reads a WAL stream and returns the records of the longest valid
+// prefix, the byte length of that prefix (including the file header),
+// and what was found. Scanning stops — without error — at the first
+// torn or corrupt record; only ErrNotWAL (wrong header) and read
+// failures are errors.
+func Scan(r io.Reader) ([]Record, int64, RecoveryInfo, error) {
+	var info RecoveryInfo
+	br := r
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			// Empty stream: valid, no records, header still to be written.
+			return nil, 0, info, nil
+		}
+		return nil, 0, info, ErrNotWAL
+	}
+	if hdr != fileMagic {
+		return nil, 0, info, ErrNotWAL
+	}
+	var records []Record
+	valid := int64(len(fileMagic))
+	for {
+		var frame [frameHeaderSize]byte
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			break // clean EOF or torn frame header: prefix ends here
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		wantCRC := binary.LittleEndian.Uint32(frame[4:8])
+		if length < 8 || length > maxRecordBytes {
+			break // corrupt length prefix
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			break // torn body
+		}
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			break // bit rot or torn overwrite
+		}
+		seq := binary.LittleEndian.Uint64(body[:8])
+		batch, err := decodeBatch(body[8:])
+		if err != nil {
+			break // structurally invalid payload despite matching CRC
+		}
+		records = append(records, Record{Seq: seq, Batch: batch})
+		valid += frameHeaderSize + int64(length)
+		info.Records++
+	}
+	return records, valid, info, nil
+}
+
+// Recovered returns the records salvaged by Open, in append order.
+// The slice is released on the first Append; copy it to keep it.
+func (w *WAL) Recovered() []Record { return w.recovered }
+
+// Recovery reports what Open found.
+func (w *WAL) Recovery() RecoveryInfo { return w.info }
+
+// Size returns the current log length in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Append journals one batch under the given sequence number and applies
+// the sync policy. The frame is written with a single Write call. On a
+// write error the log must be considered failed: the tail may be torn,
+// and the caller should stop acknowledging batches (recovery will
+// truncate the tear).
+func (w *WAL) Append(seq uint64, b graph.Batch) error {
+	w.recovered = nil
+	// Capacity: frame header + seq + two uvarint counts + 16 bytes/edge.
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+8+20+16*(len(b.Add)+len(b.Del)))
+	frame = binary.LittleEndian.AppendUint64(frame, seq)
+	frame = appendBatch(frame, b)
+	body := frame[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	n, err := w.w.Write(frame)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append seq %d: %w", seq, err)
+	}
+	if n < len(frame) {
+		return fmt.Errorf("wal: append seq %d: short write (%d of %d bytes)", seq, n, len(frame))
+	}
+	w.lastFrame = int64(len(frame))
+	switch w.opts.Sync {
+	case SyncEveryBatch:
+		return w.Sync()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.opts.Interval {
+			return w.Sync()
+		}
+	}
+	return nil
+}
+
+// Unappend removes the record most recently written by Append — used
+// when the in-memory apply that followed the journal write failed, so
+// recovery does not replay a batch the engine could not process. Valid
+// only immediately after a successful Append.
+func (w *WAL) Unappend() error {
+	if w.lastFrame == 0 {
+		return fmt.Errorf("wal: nothing to unappend")
+	}
+	w.size -= w.lastFrame
+	w.lastFrame = 0
+	if err := w.f.Truncate(w.size); err != nil {
+		return fmt.Errorf("wal: unappend: %w", err)
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: unappend seek: %w", err)
+	}
+	return w.Sync()
+}
+
+// Sync flushes the log to stable storage.
+func (w *WAL) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Reset empties the log after a checkpoint has made its records
+// redundant, keeping the file header.
+func (w *WAL) Reset() error {
+	w.recovered, w.lastFrame = nil, 0
+	w.size = int64(len(fileMagic))
+	if err := w.f.Truncate(w.size); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	return w.Sync()
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal: close sync: %w", err)
+	}
+	return w.f.Close()
+}
