@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench
+.PHONY: build test check race vet fmt bench
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,19 @@ vet:
 race:
 	$(GO) test -race ./internal/...
 
-# check is the pre-merge gate: static analysis, a full build, and the
-# internal packages under the race detector (the engine is internally
-# parallel; races there are correctness bugs, not style).
-check: vet build race
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+# check is the pre-merge gate: formatting, static analysis, a full
+# build, and the internal packages under the race detector (the engine
+# is internally parallel; races there are correctness bugs, not style).
+check: fmt vet build race
 	@echo "check: OK"
 
 bench:

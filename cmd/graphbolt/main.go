@@ -8,16 +8,29 @@
 //	graphbolt -graph base.el -stream stream.el -algo pagerank
 //	graphbolt -graph base.el -algo sssp -source 0 -top 10
 //	graphbolt -graph base.el -stream stream.el -wal-dir state/ -checkpoint-every 10
+//	graphbolt -graph base.el -stream stream.el -metrics-addr localhost:9090
 //
 // With -wal-dir, every batch is journaled to a write-ahead log before it
 // is applied and the engine is checkpointed every -checkpoint-every
 // batches; restarting the command with the same -wal-dir recovers the
 // pre-crash state and continues the stream from there.
+//
+// With -metrics-addr, an HTTP server exposes /metrics (Prometheus text),
+// /metrics.json, /debug/vars (expvar) and /debug/pprof/* while the
+// stream runs, and every layer (engine, journal, checkpoints, parallel
+// loops) reports into the process-wide registry.
+//
+// Progress is logged with log/slog, one line per event (load, recovery,
+// initial run, each applied batch); -log-format selects text or JSON.
+// Result output (-top, -validate) stays on stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -26,6 +39,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -44,18 +59,55 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints (enables durability + crash recovery)")
 		ckptEvery  = flag.Int("checkpoint-every", 10, "batches between automatic checkpoints (with -wal-dir; 0 = only journal)")
 		syncMode   = flag.String("sync", "every", "journal sync policy: every | interval | none (with -wal-dir)")
+		metricsAt  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
+		logFormat  = flag.String("log-format", "text", "progress log format: text | json")
+		trace      = flag.Bool("trace", false, "log a line per engine phase (run, refine, hybrid, checkpoint, ...)")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal("%v", err)
+	}
 	if *graphPath == "" {
 		fatal("need -graph")
 	}
+
+	var reg *obs.Registry
+	if *metricsAt != "" {
+		reg = obs.Default()
+		core.SetDefaultMetrics(reg)
+		core.RegisterMetrics(reg)
+		wal.RegisterMetrics(reg)
+		durable.RegisterMetrics(reg)
+		parallel.SetMetrics(reg)
+		ln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			fatal("metrics listener: %v", err)
+		}
+		logger.Info("metrics", "addr", ln.Addr().String(),
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/pprof/")
+		go func() {
+			if err := http.Serve(ln, obs.Handler(reg)); err != nil {
+				logger.Error("metrics server", "err", err)
+			}
+		}()
+	}
+	var sinks []obs.Sink
+	if reg != nil {
+		sinks = append(sinks, obs.RegistrySink{R: reg, Prefix: "graphbolt_phase_"})
+	}
+	if *trace {
+		sinks = append(sinks, obs.SlogSink{Logger: logger})
+	}
+	tracer := obs.NewTracer(sinks...)
+
 	var dcfg *durableConfig
 	if *walDir != "" {
 		policy, err := parseSync(*syncMode)
 		if err != nil {
 			fatal("%v", err)
 		}
-		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy}
+		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy, metrics: reg, tracer: tracer, log: logger}
 	}
 
 	f, err := os.Open(*graphPath)
@@ -67,7 +119,7 @@ func main() {
 	if err != nil {
 		fatal("load: %v", err)
 	}
-	fmt.Printf("loaded %s: V=%d E=%d\n", *graphPath, g.NumVertices(), g.NumEdges())
+	logger.Info("loaded graph", "path", *graphPath, "vertices", g.NumVertices(), "edges", g.NumEdges())
 
 	var batches []graph.Batch
 	if *streamPath != "" {
@@ -80,20 +132,20 @@ func main() {
 		if err != nil {
 			fatal("stream: %v", err)
 		}
-		fmt.Printf("stream: %d batches\n", len(batches))
+		logger.Info("loaded stream", "path", *streamPath, "batches", len(batches))
 	}
 
-	m, err := parseMode(*mode)
+	m, err := core.ParseMode(*mode)
 	if err != nil {
 		fatal("%v", err)
 	}
-	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon}
+	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon, Metrics: reg, Tracer: tracer}
 
 	if *algo == "triangles" {
 		if dcfg != nil {
 			fatal("-wal-dir is not supported with -algo triangles")
 		}
-		runTriangles(g, batches, *top)
+		runTriangles(g, batches, *top, logger)
 		return
 	}
 
@@ -103,10 +155,14 @@ func main() {
 	}
 	start := time.Now()
 	st, skip := run.run()
-	fmt.Printf("initial run: %v (%d iterations, %d edge computations)\n",
-		time.Since(start).Round(time.Microsecond), st.Iterations, st.EdgeComputations)
+	logger.Info("initial run",
+		"mode", m.String(),
+		"iterations", st.Iterations,
+		"edge_computations", st.EdgeComputations,
+		"duration", time.Since(start).Round(time.Microsecond))
+	seqBase := skip
 	if skip > 0 {
-		fmt.Printf("recovered state covers the first %d stream batches; skipping them\n", skip)
+		logger.Info("recovered state covers stream prefix", "batches_skipped", skip)
 		if skip > uint64(len(batches)) {
 			skip = uint64(len(batches))
 		}
@@ -118,8 +174,16 @@ func main() {
 		if err != nil {
 			fatal("batch %d: %v", i+1, err)
 		}
-		fmt.Printf("batch %d (%d+ %d-): %v (%d edge computations)\n",
-			i+1, len(b.Add), len(b.Del), time.Since(start).Round(time.Microsecond), st.EdgeComputations)
+		logger.Info("batch applied",
+			"seq", seqBase+uint64(i)+1,
+			"add", len(b.Add),
+			"del", len(b.Del),
+			"iterations", st.Iterations,
+			"refine_iterations", st.RefineIterations,
+			"hybrid_iterations", st.HybridIterations,
+			"edge_computations", st.EdgeComputations,
+			"duration", time.Since(start).Round(time.Microsecond),
+			"mode", m.String())
 	}
 	if err := run.close(); err != nil {
 		fatal("%v", err)
@@ -180,11 +244,15 @@ type runner struct {
 	validate func() (worst float64)
 }
 
-// durableConfig carries the -wal-dir flag family.
+// durableConfig carries the -wal-dir flag family plus the process-wide
+// instrumentation hooks.
 type durableConfig struct {
-	dir   string
-	every int
-	sync  wal.SyncPolicy
+	dir     string
+	every   int
+	sync    wal.SyncPolicy
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	log     *slog.Logger
 }
 
 // wire connects an engine to the runner entry points, inserting the
@@ -200,22 +268,21 @@ func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.St
 		d, err = durable.Open(eng, cfg.dir, durable.Options{
 			CheckpointEvery: cfg.every,
 			WAL:             wal.Options{Sync: cfg.sync},
+			Metrics:         cfg.metrics,
+			Tracer:          cfg.tracer,
 		})
 		if err != nil {
 			fatal("durable: %v", err)
 		}
 		if info := d.Recovery(); info.FromSnapshot || info.Replayed > 0 {
-			if info.FromSnapshot {
-				fmt.Printf("recovered from %s: checkpoint seq %d, %d journal records replayed",
-					cfg.dir, info.SnapshotSeq, info.Replayed)
-			} else {
-				fmt.Printf("recovered from %s: no checkpoint, %d journal records replayed",
-					cfg.dir, info.Replayed)
-			}
-			if info.WAL.Truncated {
-				fmt.Printf(" (torn journal tail: %d bytes dropped)", info.WAL.DroppedBytes)
-			}
-			fmt.Println()
+			cfg.log.Info("recovered",
+				"dir", cfg.dir,
+				"from_snapshot", info.FromSnapshot,
+				"snapshot_seq", info.SnapshotSeq,
+				"replayed", info.Replayed,
+				"skipped", info.Skipped,
+				"torn_tail", info.WAL.Truncated,
+				"dropped_bytes", info.WAL.DroppedBytes)
 		}
 		return eng.TotalStats(), d.Seq()
 	}
@@ -353,15 +420,16 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 	}
 }
 
-func runTriangles(g *graph.Graph, batches []graph.Batch, top int) {
+func runTriangles(g *graph.Graph, batches []graph.Batch, top int, logger *slog.Logger) {
 	start := time.Now()
 	tc := algorithms.NewTriangleCounter(g)
-	fmt.Printf("initial count: %d directed 3-cycles in %v\n",
-		tc.Triangles(), time.Since(start).Round(time.Microsecond))
+	logger.Info("initial count", "cycles", tc.Triangles(), "duration", time.Since(start).Round(time.Microsecond))
 	for i, b := range batches {
 		start = time.Now()
 		tc.Apply(b)
-		fmt.Printf("batch %d: %d cycles, %v\n", i+1, tc.Triangles(), time.Since(start).Round(time.Microsecond))
+		logger.Info("batch applied",
+			"seq", i+1, "add", len(b.Add), "del", len(b.Del),
+			"cycles", tc.Triangles(), "duration", time.Since(start).Round(time.Microsecond))
 	}
 	for _, vt := range tc.TopTriangleVertices(top) {
 		fmt.Printf("  vertex %d closes %d cycles\n", vt.Vertex, vt.Closures)
@@ -397,20 +465,16 @@ func printVector(name string, vals [][]float64, k int) {
 	}
 }
 
-func parseMode(s string) (core.Mode, error) {
-	switch s {
-	case "graphbolt":
-		return core.ModeGraphBolt, nil
-	case "graphbolt-rp":
-		return core.ModeGraphBoltRP, nil
-	case "reset":
-		return core.ModeReset, nil
-	case "ligra":
-		return core.ModeLigra, nil
-	case "naive":
-		return core.ModeNaive, nil
+// newLogger builds the progress logger on stderr, keeping stdout for
+// result output (-top, -validate).
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
 	default:
-		return 0, fmt.Errorf("unknown mode %q", s)
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
 	}
 }
 

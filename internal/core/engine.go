@@ -34,7 +34,8 @@ type Engine[V, A any] struct {
 	level int // completed BSP levels
 	ran   bool
 
-	stats Stats // cumulative
+	stats Stats         // cumulative
+	met   engineMetrics // zero value when instrumentation is off
 }
 
 // NewEngine creates an engine over g. The graph may be nil only if a
@@ -58,6 +59,11 @@ func NewEngine[V, A any](g *graph.Graph, p Program[V, A], opts Options) (*Engine
 	if d, ok := any(p).(DeltaProgram[V, A]); ok && opts.Mode != ModeGraphBoltRP {
 		e.delta = d
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = defaultMetrics.Load()
+	}
+	e.met = newEngineMetrics(reg)
 	return e, nil
 }
 
@@ -90,6 +96,7 @@ func (e *Engine[V, A]) tracking() bool {
 // Run executes the initial computation from scratch (also used by the
 // restart modes after a mutation). Subsequent calls restart.
 func (e *Engine[V, A]) Run() Stats {
+	sp := e.opts.Tracer.StartPhase("run")
 	start := time.Now()
 	var st Stats
 	e.resetState()
@@ -100,8 +107,25 @@ func (e *Engine[V, A]) Run() Stats {
 	}
 	e.ran = true
 	st.Duration = time.Since(start)
+	st.TrackedSnapshotBytes = e.HistoryBytes()
 	e.stats.Add(st)
+	e.met.observeRun(st)
+	e.refreshTrackingMetrics()
+	sp.End()
 	return st
+}
+
+// refreshTrackingMetrics publishes the dependency store's current size
+// to the tracked-snapshot gauges.
+func (e *Engine[V, A]) refreshTrackingMetrics() {
+	if e.met.trackedSnapshots == nil {
+		return
+	}
+	if e.hist == nil {
+		e.met.observeTracking(0, 0)
+		return
+	}
+	e.met.observeTracking(e.hist.Entries(), e.hist.HeapBytes())
 }
 
 // resetState reinitializes values, aggregates and history for the

@@ -1,6 +1,12 @@
 package core
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Mode selects the execution strategy, mirroring the systems compared in
 // the paper's evaluation (§5.1).
@@ -52,6 +58,25 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode is the inverse of Mode.String: it accepts the paper's names
+// (case-insensitively) plus the CLI short forms ("reset", "rp").
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "graphbolt":
+		return ModeGraphBolt, nil
+	case "graphbolt-rp", "rp":
+		return ModeGraphBoltRP, nil
+	case "gb-reset", "reset":
+		return ModeReset, nil
+	case "ligra":
+		return ModeLigra, nil
+	case "naive":
+		return ModeNaive, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q", s)
+	}
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Mode selects the execution strategy. Default ModeGraphBolt.
@@ -71,6 +96,17 @@ type Options struct {
 	// vertex at every tracked iteration instead of only while the
 	// aggregate keeps changing. Costs memory, changes no results.
 	DisableVerticalPruning bool
+
+	// Metrics, when non-nil, receives engine instrumentation (run/batch
+	// counters, refine-vs-hybrid edge computations, tracked-snapshot
+	// gauges, duration histograms). Nil falls back to the registry
+	// installed with SetDefaultMetrics; both nil means instrumentation
+	// is off and costs only nil checks. Not part of checkpointed state.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, receives phase spans ("run", "refine",
+	// "hybrid", ...). Not part of checkpointed state.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -92,14 +128,33 @@ type Stats struct {
 	EdgeComputations   int64
 	VertexComputations int64
 	RefineIterations   int
-	Duration           time.Duration
+
+	// HybridIterations counts the delta-BSP iterations executed past the
+	// pruning horizon during refinement (the §4.2 hybrid continuation);
+	// always ≤ Iterations, and 0 outside the GraphBolt modes.
+	HybridIterations int
+
+	// TrackedSnapshotBytes is the dependency store's heap footprint when
+	// the call finished — a point-in-time gauge (§3.2's pruning target),
+	// not a per-call sum.
+	TrackedSnapshotBytes int64
+
+	Duration time.Duration
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Work fields sum; TrackedSnapshotBytes
+// is a gauge, so the most recent non-zero observation wins.
+//
+// TestStatsAddCoversEveryField fails if a field is added here without a
+// matching line below.
 func (s *Stats) Add(other Stats) {
 	s.Iterations += other.Iterations
 	s.EdgeComputations += other.EdgeComputations
 	s.VertexComputations += other.VertexComputations
 	s.RefineIterations += other.RefineIterations
+	s.HybridIterations += other.HybridIterations
+	if other.TrackedSnapshotBytes != 0 {
+		s.TrackedSnapshotBytes = other.TrackedSnapshotBytes
+	}
 	s.Duration += other.Duration
 }

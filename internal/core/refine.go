@@ -28,6 +28,7 @@ func (e *Engine[V, A]) ApplyBatch(b graph.Batch) (Stats, error) {
 	}
 	var st Stats
 	err := parallel.Catch(func() {
+		sp := e.opts.Tracer.StartPhase("apply_batch")
 		start := time.Now()
 		oldG := e.g
 		newG, res := oldG.Apply(b)
@@ -37,7 +38,8 @@ func (e *Engine[V, A]) ApplyBatch(b graph.Batch) (Stats, error) {
 			// No prior run: install the new snapshot and compute fresh.
 			e.g = newG
 			st = e.Run()
-			// Run already recorded its own duration/stats.
+			// Run already recorded its own duration/stats/metrics.
+			sp.End()
 			return
 		case e.opts.Mode == ModeLigra || e.opts.Mode == ModeReset:
 			e.g = newG
@@ -53,7 +55,11 @@ func (e *Engine[V, A]) ApplyBatch(b graph.Batch) (Stats, error) {
 			st = e.refine(oldG, newG, res)
 		}
 		st.Duration = time.Since(start)
+		st.TrackedSnapshotBytes = e.HistoryBytes()
 		e.stats.Add(st)
+		e.met.observeBatch(st)
+		e.refreshTrackingMetrics()
+		sp.End()
 	})
 	if err != nil {
 		return Stats{}, fmt.Errorf("core: apply batch: %w", err)
@@ -77,6 +83,7 @@ type tailFix[A any] struct {
 // hybrid execution (§4.2): plain delta-based BSP seeded with the changed
 // sets at the horizon.
 func (e *Engine[V, A]) refine(oldG, newG *graph.Graph, res graph.ApplyResult) Stats {
+	spRefine := e.opts.Tracer.StartPhase("refine")
 	var st Stats
 	e.g = newG
 	n := newG.NumVertices()
@@ -348,11 +355,18 @@ func (e *Engine[V, A]) refine(oldG, newG *graph.Graph, res graph.ApplyResult) St
 		parallel.For(n, func(v int) { refresh(v) })
 	}
 	e.level = H
+	refineEdges := edgeWork.Sum()
+	spRefine.End()
+	spHybrid := e.opts.Tracer.StartPhase("hybrid")
 	st2 := e.runDelta(H+1, seed, e.opts.MaxIterations)
+	spHybrid.End()
 
-	st.EdgeComputations = edgeWork.Sum() + st2.EdgeComputations
+	st.EdgeComputations = refineEdges + st2.EdgeComputations
 	st.VertexComputations = vertWork.Sum() + st2.VertexComputations
 	st.Iterations = st2.Iterations
+	st.HybridIterations = st2.Iterations
+	e.met.refineEdges.Add(refineEdges)
+	e.met.hybridEdges.Add(st2.EdgeComputations)
 	return st
 }
 

@@ -33,11 +33,32 @@ var ErrSnapshotCorrupt = errors.New("core: snapshot corrupt")
 // an incompatible format version.
 var ErrSnapshotVersion = errors.New("core: snapshot version mismatch")
 
+// snapshotOptions are the Options fields that define execution
+// semantics — what checkpoints store and compare. Instrumentation hooks
+// (Metrics, Tracer) are runtime wiring: gob cannot encode them and a
+// restored engine keeps its own. Field names match Options so old
+// checkpoints decode unchanged.
+type snapshotOptions struct {
+	Mode                   Mode
+	MaxIterations          int
+	Horizon                int
+	DisableVerticalPruning bool
+}
+
+func toSnapshotOptions(o Options) snapshotOptions {
+	return snapshotOptions{
+		Mode:                   o.Mode,
+		MaxIterations:          o.MaxIterations,
+		Horizon:                o.Horizon,
+		DisableVerticalPruning: o.DisableVerticalPruning,
+	}
+}
+
 // engineState is the gob-serialized checkpoint. Value and aggregate
 // types must be gob-encodable (true for all shipped algorithms: floats,
 // float slices, exported structs).
 type engineState[V, A any] struct {
-	Options Options
+	Options snapshotOptions
 
 	Vertices int
 	Edges    []graph.Edge
@@ -61,7 +82,7 @@ type engineState[V, A any] struct {
 // trailer; ReadSnapshot verifies both.
 func (e *Engine[V, A]) WriteSnapshot(w io.Writer) error {
 	st := engineState[V, A]{
-		Options:  e.opts,
+		Options:  toSnapshotOptions(e.opts),
 		Vertices: e.g.NumVertices(),
 		Edges:    e.g.Edges(nil),
 		Vals:     e.vals,
@@ -128,8 +149,8 @@ func (e *Engine[V, A]) ReadSnapshot(r io.Reader) error {
 	if err := gob.NewDecoder(bytes.NewReader(body[header:])).Decode(&st); err != nil {
 		return fmt.Errorf("%w: decode: %v", ErrSnapshotCorrupt, err)
 	}
-	if st.Options != e.opts {
-		return fmt.Errorf("core: snapshot options %+v do not match engine options %+v", st.Options, e.opts)
+	if st.Options != toSnapshotOptions(e.opts) {
+		return fmt.Errorf("core: snapshot options %+v do not match engine options %+v", st.Options, toSnapshotOptions(e.opts))
 	}
 	g, err := graph.Build(st.Vertices, st.Edges)
 	if err != nil {

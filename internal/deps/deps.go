@@ -24,6 +24,7 @@ type Store[A any] struct {
 	identity func() A
 
 	heapBytes atomic.Int64
+	entries   atomic.Int64
 }
 
 // New creates a store for n vertices with the given horizon (the
@@ -101,10 +102,12 @@ func (s *Store[A]) Append(v uint32, level int, agg A) {
 			cp = s.clone(h[len(h)-1])
 		}
 		s.heapBytes.Add(int64(s.bytes(cp)))
+		s.entries.Add(1)
 		h = append(h, cp)
 	}
 	cp := s.clone(agg)
 	s.heapBytes.Add(int64(s.bytes(cp)))
+	s.entries.Add(1)
 	h = append(h, cp)
 	s.hist[v] = h
 }
@@ -124,6 +127,7 @@ func (s *Store[A]) FillTo(v uint32, level int) {
 	for len(h) < level {
 		cp := s.clone(h[len(h)-1])
 		s.heapBytes.Add(int64(s.bytes(cp)))
+		s.entries.Add(1)
 		h = append(h, cp)
 	}
 	s.hist[v] = h
@@ -135,12 +139,20 @@ func (s *Store[A]) HeapBytes() int64 {
 	return s.heapBytes.Load() + int64(len(s.hist))*24 // slice headers
 }
 
+// Entries reports the number of aggregation values currently stored
+// across all vertex histories — the direct measure of how much the
+// horizontal/vertical pruning of §3.2 is saving versus |V|·iterations.
+func (s *Store[A]) Entries() int64 {
+	return s.entries.Load()
+}
+
 // Reset drops all histories (used when an engine restarts from scratch).
 func (s *Store[A]) Reset() {
 	for i := range s.hist {
 		s.hist[i] = nil
 	}
 	s.heapBytes.Store(0)
+	s.entries.Store(0)
 }
 
 // ChangedAt reports whether v's aggregate changed at exactly the given
@@ -173,7 +185,7 @@ func (s *Store[A]) Export() [][]A {
 // horizon are truncated.
 func (s *Store[A]) Import(hist [][]A) {
 	s.hist = make([][]A, len(hist))
-	var total int64
+	var total, entries int64
 	for v, h := range hist {
 		if len(h) > s.horizon {
 			h = h[:s.horizon]
@@ -186,7 +198,9 @@ func (s *Store[A]) Import(hist [][]A) {
 			cp[i] = s.clone(a)
 			total += int64(s.bytes(cp[i]))
 		}
+		entries += int64(len(cp))
 		s.hist[v] = cp
 	}
 	s.heapBytes.Store(total)
+	s.entries.Store(entries)
 }

@@ -36,9 +36,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -63,6 +65,13 @@ type Options struct {
 	CheckpointEvery int
 	// WAL configures the journal's sync policy.
 	WAL wal.Options
+	// Metrics, when non-nil, receives checkpoint/recovery instrumentation
+	// and is propagated to the journal unless WAL.Metrics is already set.
+	// Nil means instrumentation is off.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives "recovery" and "checkpoint" phase
+	// spans.
+	Tracer *obs.Tracer
 }
 
 // RecoveryInfo describes how Open reconstructed the engine state.
@@ -94,6 +103,7 @@ type Engine[V, A any] struct {
 	snapSeq uint64 // sequence number covered by the on-disk checkpoint
 	since   int    // batches applied since that checkpoint
 	info    RecoveryInfo
+	met     durableMetrics
 }
 
 // Open wraps eng with durability backed by dir, recovering any state a
@@ -117,15 +127,23 @@ func Open[V, A any](eng *core.Engine[V, A], dir string, opts Options) (*Engine[V
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
+	if opts.WAL.Metrics == nil {
+		opts.WAL.Metrics = opts.Metrics
+	}
 	w, err := wal.Open(filepath.Join(dir, walFile), opts.WAL)
 	if err != nil {
 		return nil, err
 	}
-	d := &Engine[V, A]{eng: eng, w: w, dir: dir, opts: opts}
+	d := &Engine[V, A]{eng: eng, w: w, dir: dir, opts: opts, met: newDurableMetrics(opts.Metrics)}
+	sp := opts.Tracer.StartPhase("recovery")
 	if err := d.recover(); err != nil {
 		w.Close()
 		return nil, err
 	}
+	sp.End()
+	d.met.recoveries.Inc()
+	d.met.replayedRecords.Add(int64(d.info.Replayed))
+	d.met.skippedRecords.Add(int64(d.info.Skipped))
 	return d, nil
 }
 
@@ -238,6 +256,11 @@ func (d *Engine[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
 // the journal. On return, recovery no longer needs any WAL record ≤ the
 // current sequence number.
 func (d *Engine[V, A]) Checkpoint() error {
+	sp := d.opts.Tracer.StartPhase("checkpoint")
+	var start time.Time
+	if d.met.checkpointDuration != nil {
+		start = time.Now()
+	}
 	if err := d.writeCheckpoint(); err != nil {
 		return err
 	}
@@ -246,7 +269,15 @@ func (d *Engine[V, A]) Checkpoint() error {
 	// records with seq ≤ the checkpoint's sequence number.
 	d.snapSeq = d.seq
 	d.since = 0
-	return d.w.Reset()
+	if err := d.w.Reset(); err != nil {
+		return err
+	}
+	if d.met.checkpointDuration != nil {
+		d.met.checkpointDuration.Observe(time.Since(start).Seconds())
+	}
+	d.met.checkpoints.Inc()
+	sp.End()
+	return nil
 }
 
 // writeCheckpoint performs the atomic snapshot write (temp file, fsync,

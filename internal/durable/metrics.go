@@ -1,0 +1,39 @@
+package durable
+
+import "repro/internal/obs"
+
+// durableMetrics holds the checkpoint/recovery metric handles; the zero
+// value (nil handles) is the instrumentation-off state.
+type durableMetrics struct {
+	checkpoints        *obs.Counter
+	checkpointDuration *obs.Histogram
+	replayedRecords    *obs.Counter
+	skippedRecords     *obs.Counter
+	recoveries         *obs.Counter
+}
+
+func newDurableMetrics(r *obs.Registry) durableMetrics {
+	if r == nil {
+		return durableMetrics{}
+	}
+	return durableMetrics{
+		checkpoints: r.Counter("graphbolt_checkpoints_total",
+			"Engine checkpoints written (snapshot + journal truncation)."),
+		checkpointDuration: r.Histogram("graphbolt_checkpoint_seconds",
+			"Checkpoint duration: atomic snapshot write plus journal reset.",
+			obs.DefTimeBuckets),
+		replayedRecords: r.Counter("graphbolt_recovery_replayed_records_total",
+			"Journal records re-applied on top of the checkpoint at open."),
+		skippedRecords: r.Counter("graphbolt_recovery_skipped_records_total",
+			"Journal records ignored at open because the checkpoint already covered them."),
+		recoveries: r.Counter("graphbolt_recoveries_total",
+			"Durable engines opened (each performs the recovery protocol)."),
+	}
+}
+
+// RegisterMetrics pre-creates the durable-engine metric set in r so the
+// exposition endpoint shows every series (at zero) before an engine is
+// opened. Idempotent.
+func RegisterMetrics(r *obs.Registry) {
+	newDurableMetrics(r)
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-global expvar key: expvar.Publish
+// panics on duplicate names, and the "graphbolt" variable tracks the
+// first registry handed to Handler (in practice the default registry).
+var expvarOnce sync.Once
+
+// Handler returns the live introspection endpoint for a registry:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/metrics.json   the same snapshot as JSON (what Registry.Snapshot returns)
+//	/debug/vars     expvar (includes cmdline, memstats and the registry
+//	                snapshot under the "graphbolt" key)
+//	/debug/pprof/*  the standard pprof profiles
+//
+// Serve it with net/http:
+//
+//	go http.ListenAndServe(addr, obs.Handler(obs.Default()))
+func Handler(r *Registry) http.Handler {
+	expvarOnce.Do(func() {
+		expvar.Publish("graphbolt", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/metrics.json", snapshotJSON(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func snapshotJSON(r *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// expvar.Func's formatting is JSON; reuse it for consistency.
+		v := expvar.Func(func() any { return r.Snapshot() })
+		w.Write([]byte(v.String()))
+	}
+}

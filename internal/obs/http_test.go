@@ -1,0 +1,71 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("test_requests_total", "Requests.").Add(3)
+	r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1}).Observe(0.05)
+	srv := httptest.NewServer(obs.Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (status int, contentType, body string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+	}
+
+	status, ct, body := get("/metrics")
+	if status != 200 {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text v0.0.4", ct)
+	}
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		"test_requests_total 3",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="+Inf"} 1`,
+		"test_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	status, _, body = get("/metrics.json")
+	if status != 200 {
+		t.Fatalf("/metrics.json status %d", status)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if snap.Counters["test_requests_total"] != 3 {
+		t.Errorf("/metrics.json counter = %d, want 3", snap.Counters["test_requests_total"])
+	}
+
+	if status, _, _ = get("/debug/vars"); status != 200 {
+		t.Errorf("/debug/vars status %d", status)
+	}
+	if status, _, _ = get("/debug/pprof/cmdline"); status != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", status)
+	}
+	if status, _, _ = get("/nope"); status != 404 {
+		t.Errorf("unknown path status %d, want 404", status)
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters are monotonic: ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_ops_total", "ops"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{1, 2, 5})
+
+	// Prometheus le semantics: a bucket with upper bound U counts v ≤ U.
+	for _, v := range []float64{0.5, 1.0} { // both land in le="1"
+		h.Observe(v)
+	}
+	h.Observe(1.0000001) // le="2"
+	h.Observe(2)         // le="2" (boundary is inclusive)
+	h.Observe(5)         // le="5"
+	h.Observe(100)       // +Inf overflow
+
+	s := h.snapshot()
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-109.5000001) > 1e-6 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "", []float64{0.5})
+	c := r.Counter("test_conc_total", "")
+	g := r.Gauge("test_conc_gauge", "")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 2)) // half ≤ 0.5, half overflow
+				c.Inc()
+				g.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != workers*per/2 {
+		t.Fatalf("histogram sum = %g, want %d", got, workers*per/2)
+	}
+	s := h.snapshot()
+	if s.Counts[0] != workers*per/2 || s.Counts[1] != workers*per/2 {
+		t.Fatalf("bucket split = %v", s.Counts)
+	}
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.").Add(3)
+	r.Gauge("app_queue_depth", "Queue depth.").Set(7)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_requests_total counter",
+		"app_requests_total 3",
+		"# TYPE app_queue_depth gauge",
+		"app_queue_depth 7",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 3.55",
+		"app_latency_seconds_count 3",
+		"# HELP app_requests_total Requests served.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Metrics are sorted by name.
+	if strings.Index(out, "app_latency_seconds") > strings.Index(out, "app_queue_depth") {
+		t.Fatal("exposition not sorted by metric name")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Gauge("g", "").Set(1.5)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c_total"] != 2 || back.Gauges["g"] != 1.5 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	hs := back.Histograms["h_seconds"]
+	if hs.Count != 1 || hs.Counts[0] != 1 {
+		t.Fatalf("histogram round trip: %+v", hs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "")
+	mustPanic(t, "kind collision", func() { r.Gauge("dual_total", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("9starts_with_digit", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("has space", "") })
+	mustPanic(t, "empty name", func() { r.Counter("", "") })
+	mustPanic(t, "unsorted bounds", func() { r.Histogram("bad_seconds", "", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Sink receives completed phase spans. Implementations must be safe for
+// concurrent use; the engine may end spans from multiple goroutines.
+type Sink interface {
+	Phase(name string, start time.Time, duration time.Duration)
+}
+
+// Tracer hands out phase spans and fans completed spans out to its
+// sinks. A nil *Tracer (and a tracer with no sinks) is valid and inert:
+// StartPhase returns an inert span and costs one nil check.
+type Tracer struct {
+	sinks []Sink
+}
+
+// NewTracer builds a tracer over the given sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// StartPhase opens a span for a named engine phase ("run", "refine",
+// "hybrid", "checkpoint", ...). End the returned span when the phase
+// completes.
+func (t *Tracer) StartPhase(name string) Span {
+	if t == nil || len(t.sinks) == 0 {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// EndPhase ends a span obtained from StartPhase; equivalent to s.End().
+func (t *Tracer) EndPhase(s Span) { s.End() }
+
+// Span is one in-flight phase. The zero Span is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// End completes the span and delivers it to every sink.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.start)
+	for _, sink := range s.t.sinks {
+		sink.Phase(s.name, s.start, d)
+	}
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(name string, start time.Time, duration time.Duration)
+
+// Phase implements Sink.
+func (f FuncSink) Phase(name string, start time.Time, duration time.Duration) {
+	f(name, start, duration)
+}
+
+// SlogSink logs each completed span through a structured logger.
+type SlogSink struct {
+	Logger *slog.Logger
+	Level  slog.Level
+}
+
+// Phase implements Sink.
+func (s SlogSink) Phase(name string, start time.Time, duration time.Duration) {
+	s.Logger.Log(context.Background(), s.Level, "phase",
+		"name", name, "duration", duration)
+}
+
+// RegistrySink aggregates span durations into per-phase latency
+// histograms named <Prefix><phase>_seconds in a Registry, so phase
+// timings show up in /metrics without a separate trace store.
+type RegistrySink struct {
+	R      *Registry
+	Prefix string
+}
+
+// Phase implements Sink.
+func (s RegistrySink) Phase(name string, start time.Time, duration time.Duration) {
+	s.R.Histogram(s.Prefix+sanitizeMetricName(name)+"_seconds",
+		"Duration of the "+name+" phase.", DefTimeBuckets).Observe(duration.Seconds())
+}
+
+// sanitizeMetricName maps an arbitrary phase name onto the Prometheus
+// metric name grammar.
+func sanitizeMetricName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "phase"
+	}
+	return string(out)
+}

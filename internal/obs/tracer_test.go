@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerDeliversSpans(t *testing.T) {
+	type span struct {
+		name string
+		d    time.Duration
+	}
+	var mu sync.Mutex
+	var got []span
+	tr := NewTracer(FuncSink(func(name string, _ time.Time, d time.Duration) {
+		mu.Lock()
+		got = append(got, span{name, d})
+		mu.Unlock()
+	}))
+
+	s := tr.StartPhase("refine")
+	s.End()
+	tr.EndPhase(tr.StartPhase("hybrid"))
+
+	if len(got) != 2 || got[0].name != "refine" || got[1].name != "hybrid" {
+		t.Fatalf("spans = %+v", got)
+	}
+	for _, s := range got {
+		if s.d < 0 {
+			t.Fatalf("negative duration %v", s.d)
+		}
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartPhase("anything")
+	s.End() // must not panic
+	tr.EndPhase(s)
+	NewTracer().StartPhase("no sinks").End()
+	(Span{}).End()
+}
+
+func TestRegistrySink(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(RegistrySink{R: r, Prefix: "graphbolt_phase_"})
+	tr.StartPhase("apply batch").End()
+	tr.StartPhase("apply batch").End()
+
+	h := r.Histogram("graphbolt_phase_apply_batch_seconds", "", DefTimeBuckets)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("phase histogram count = %d, want 2", got)
+	}
+}
+
+func TestSlogSink(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(SlogSink{Logger: logger, Level: slog.LevelInfo})
+	tr.StartPhase("checkpoint").End()
+	if out := buf.String(); !strings.Contains(out, "name=checkpoint") || !strings.Contains(out, "duration=") {
+		t.Fatalf("slog sink output: %q", out)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"refine":      "refine",
+		"apply batch": "apply_batch",
+		"wal-append":  "wal_append",
+		"9lives":      "_9lives",
+		"":            "phase",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// loopMetrics holds the loop-runtime metric handles. Loops load the
+// pointer once per call; a nil pointer (the default) means
+// instrumentation is off and loops pay a single atomic load.
+type loopMetrics struct {
+	loops       *obs.Counter
+	inlineLoops *obs.Counter
+	chunkClaims *obs.Counter
+	launches    *obs.Counter
+	utilization *obs.Histogram
+}
+
+// UtilizationBuckets are the histogram bounds for per-loop worker
+// utilization (1.0 = perfectly balanced chunk claims across workers).
+var UtilizationBuckets = []float64{0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+
+var loopMet atomic.Pointer[loopMetrics]
+
+// SetMetrics installs r as the destination for loop instrumentation
+// (loop/chunk/worker counters and the utilization histogram). Pass nil
+// to turn instrumentation back off. Safe to call concurrently with
+// running loops: in-flight loops keep the registry they loaded at entry.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		loopMet.Store(nil)
+		return
+	}
+	loopMet.Store(&loopMetrics{
+		loops: r.Counter("graphbolt_parallel_loops_total",
+			"Parallel-for loops executed (including inline ones)."),
+		inlineLoops: r.Counter("graphbolt_parallel_inline_loops_total",
+			"Loops small enough to run inline on the calling goroutine."),
+		chunkClaims: r.Counter("graphbolt_parallel_chunk_claims_total",
+			"Chunks claimed from loop work queues by all workers."),
+		launches: r.Counter("graphbolt_parallel_worker_launches_total",
+			"Worker goroutines launched by parallel loops."),
+		utilization: r.Histogram("graphbolt_parallel_worker_utilization",
+			"Per-loop claim balance: total chunk claims over workers times the busiest worker's claims (1 = perfectly balanced).",
+			UtilizationBuckets),
+	})
+}
+
+// loopStat accumulates per-worker chunk-claim counts for one loop.
+type loopStat struct {
+	total atomic.Int64
+	max   atomic.Int64
+}
+
+func (s *loopStat) record(claims int64) {
+	if claims == 0 {
+		return
+	}
+	s.total.Add(claims)
+	for {
+		cur := s.max.Load()
+		if claims <= cur || s.max.CompareAndSwap(cur, claims) {
+			return
+		}
+	}
+}
+
+// observeInline records a loop that ran on the calling goroutine: one
+// worker, one claim, utilization 1 by construction.
+func (m *loopMetrics) observeInline() {
+	if m == nil {
+		return
+	}
+	m.loops.Inc()
+	m.inlineLoops.Inc()
+	m.chunkClaims.Inc()
+	m.utilization.Observe(1)
+}
+
+// observeLoop records a fan-out loop after its workers drained.
+func (m *loopMetrics) observeLoop(workers int, s *loopStat) {
+	if m == nil {
+		return
+	}
+	m.loops.Inc()
+	m.launches.Add(int64(workers))
+	total, max := s.total.Load(), s.max.Load()
+	m.chunkClaims.Add(total)
+	if max > 0 && workers > 0 {
+		m.utilization.Observe(float64(total) / (float64(workers) * float64(max)))
+	}
+}

@@ -44,6 +44,7 @@ func ForGrain(n, grain int, body func(i int)) {
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
+	m := loopMet.Load()
 	var box panicBox
 	if p == 1 || n <= grain {
 		box.run(0, n, func() {
@@ -51,6 +52,7 @@ func ForGrain(n, grain int, body func(i int)) {
 				body(i)
 			}
 		})
+		m.observeInline()
 		box.rethrow()
 		return
 	}
@@ -59,15 +61,21 @@ func ForGrain(n, grain int, body func(i int)) {
 	if needed := (n + grain - 1) / grain; p > needed {
 		p = needed
 	}
+	var ls loopStat
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
+			var claims int64
+			if m != nil {
+				defer func() { ls.record(claims) }()
+			}
 			for !box.tripped.Load() {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
 				}
+				claims++
 				end := start + grain
 				if end > n {
 					end = n
@@ -81,6 +89,7 @@ func ForGrain(n, grain int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	m.observeLoop(p, &ls)
 	box.rethrow()
 }
 
@@ -95,9 +104,11 @@ func ForRange(n, grain int, body func(start, end int)) {
 		grain = DefaultGrain
 	}
 	p := Procs()
+	m := loopMet.Load()
 	var box panicBox
 	if p == 1 || n <= grain {
 		box.run(0, n, func() { body(0, n) })
+		m.observeInline()
 		box.rethrow()
 		return
 	}
@@ -106,15 +117,21 @@ func ForRange(n, grain int, body func(start, end int)) {
 	if needed := (n + grain - 1) / grain; p > needed {
 		p = needed
 	}
+	var ls loopStat
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
+			var claims int64
+			if m != nil {
+				defer func() { ls.record(claims) }()
+			}
 			for !box.tripped.Load() {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
 				}
+				claims++
 				end := start + grain
 				if end > n {
 					end = n
@@ -124,6 +141,7 @@ func ForRange(n, grain int, body func(start, end int)) {
 		}()
 	}
 	wg.Wait()
+	m.observeLoop(p, &ls)
 	box.rethrow()
 }
 
@@ -138,9 +156,11 @@ func ForWorker(n, grain int, body func(worker, start, end int)) {
 		grain = DefaultGrain
 	}
 	p := Procs()
+	m := loopMet.Load()
 	var box panicBox
 	if p == 1 || n <= grain {
 		box.run(0, n, func() { body(0, 0, n) })
+		m.observeInline()
 		box.rethrow()
 		return
 	}
@@ -149,15 +169,21 @@ func ForWorker(n, grain int, body func(worker, start, end int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var ls loopStat
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			var claims int64
+			if m != nil {
+				defer func() { ls.record(claims) }()
+			}
 			for !box.tripped.Load() {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
 				}
+				claims++
 				end := start + grain
 				if end > n {
 					end = n
@@ -167,6 +193,7 @@ func ForWorker(n, grain int, body func(worker, start, end int)) {
 		}(w)
 	}
 	wg.Wait()
+	m.observeLoop(p, &ls)
 	box.rethrow()
 }
 

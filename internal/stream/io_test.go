@@ -128,10 +128,10 @@ func TestRoundTripWeightFidelity(t *testing.T) {
 
 func TestReadBatchesMalformedIDs(t *testing.T) {
 	for _, bad := range []string{
-		"a -1 2 1\n",          // negative source
-		"a 1 -2 1\n",          // negative target
-		"a 4294967296 0 1\n",  // source overflows uint32
-		"d 0 4294967296\n",    // target overflows uint32
+		"a -1 2 1\n",         // negative source
+		"a 1 -2 1\n",         // negative target
+		"a 4294967296 0 1\n", // source overflows uint32
+		"d 0 4294967296\n",   // target overflows uint32
 		"a 0 1 1 extra junk that is fine\n#batch\na\n", // short line after valid one
 	} {
 		if _, err := ReadBatches(bytes.NewBufferString(bad)); err == nil {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 var fileMagic = [8]byte{'G', 'B', 'W', 'A', 'L', '0', '0', '1'}
@@ -84,6 +85,10 @@ type Options struct {
 	// Interval is the maximum time between fsyncs under SyncInterval.
 	// Default 100ms.
 	Interval time.Duration
+	// Metrics, when non-nil, receives journal instrumentation (append
+	// counts and bytes, fsync latency, recovery results). Nil means
+	// instrumentation is off.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +131,45 @@ type WAL struct {
 	lastSync  time.Time
 	recovered []Record
 	info      RecoveryInfo
+	met       walMetrics
+}
+
+// walMetrics holds the journal's metric handles; the zero value (nil
+// handles) is the instrumentation-off state.
+type walMetrics struct {
+	appends          *obs.Counter
+	appendBytes      *obs.Counter
+	fsync            *obs.Histogram
+	size             *obs.Gauge
+	recoveredRecords *obs.Counter
+	truncatedBytes   *obs.Counter
+}
+
+func newWALMetrics(r *obs.Registry) walMetrics {
+	if r == nil {
+		return walMetrics{}
+	}
+	return walMetrics{
+		appends: r.Counter("graphbolt_wal_appends_total",
+			"Batches journaled to the write-ahead log."),
+		appendBytes: r.Counter("graphbolt_wal_append_bytes_total",
+			"Bytes appended to the write-ahead log."),
+		fsync: r.Histogram("graphbolt_wal_fsync_seconds",
+			"Write-ahead log fsync latency.", obs.DefTimeBuckets),
+		size: r.Gauge("graphbolt_wal_size_bytes",
+			"Current write-ahead log length."),
+		recoveredRecords: r.Counter("graphbolt_wal_recovered_records_total",
+			"Valid records recovered from existing logs at open."),
+		truncatedBytes: r.Counter("graphbolt_wal_truncated_bytes_total",
+			"Bytes dropped when truncating torn or corrupt log tails."),
+	}
+}
+
+// RegisterMetrics pre-creates the WAL metric set in r so the exposition
+// endpoint shows every series (at zero) before a log is opened.
+// Idempotent.
+func RegisterMetrics(r *obs.Registry) {
+	newWALMetrics(r)
 }
 
 // Open opens (creating if absent) the log at path, scans it, truncates
@@ -137,11 +181,14 @@ func Open(path string, opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	w := &WAL{f: f, w: f, opts: opts, lastSync: time.Now()}
+	w := &WAL{f: f, w: f, opts: opts, lastSync: time.Now(), met: newWALMetrics(opts.Metrics)}
 	if err := w.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	w.met.recoveredRecords.Add(int64(w.info.Records))
+	w.met.truncatedBytes.Add(w.info.DroppedBytes)
+	w.met.size.Set(float64(w.size))
 	return w, nil
 }
 
@@ -267,6 +314,9 @@ func (w *WAL) Append(seq uint64, b graph.Batch) error {
 		return fmt.Errorf("wal: append seq %d: short write (%d of %d bytes)", seq, n, len(frame))
 	}
 	w.lastFrame = int64(len(frame))
+	w.met.appends.Inc()
+	w.met.appendBytes.Add(int64(n))
+	w.met.size.Set(float64(w.size))
 	switch w.opts.Sync {
 	case SyncEveryBatch:
 		return w.Sync()
@@ -288,6 +338,7 @@ func (w *WAL) Unappend() error {
 	}
 	w.size -= w.lastFrame
 	w.lastFrame = 0
+	w.met.size.Set(float64(w.size))
 	if err := w.f.Truncate(w.size); err != nil {
 		return fmt.Errorf("wal: unappend: %w", err)
 	}
@@ -299,8 +350,15 @@ func (w *WAL) Unappend() error {
 
 // Sync flushes the log to stable storage.
 func (w *WAL) Sync() error {
+	var start time.Time
+	if w.met.fsync != nil {
+		start = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if w.met.fsync != nil {
+		w.met.fsync.Observe(time.Since(start).Seconds())
 	}
 	w.lastSync = time.Now()
 	return nil
@@ -311,6 +369,7 @@ func (w *WAL) Sync() error {
 func (w *WAL) Reset() error {
 	w.recovered, w.lastFrame = nil, 0
 	w.size = int64(len(fileMagic))
+	w.met.size.Set(float64(w.size))
 	if err := w.f.Truncate(w.size); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}

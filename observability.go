@@ -1,0 +1,71 @@
+package graphbolt
+
+import (
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/wal"
+)
+
+// MetricsRegistry re-exports the metrics registry: atomic counters,
+// gauges and fixed-bucket histograms with Prometheus text exposition.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every metric, JSON-ready.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer delivers engine phase spans ("run", "refine", "hybrid",
+// "checkpoint", ...) to pluggable sinks; set it on Options.Tracer or
+// DurableOptions.Tracer.
+type Tracer = obs.Tracer
+
+// TraceSink receives completed phase spans.
+type TraceSink = obs.Sink
+
+// NewTracer builds a tracer fanning out to the given sinks. A nil
+// tracer (the Options default) is inert.
+var NewTracer = obs.NewTracer
+
+// EnableMetrics turns on process-wide instrumentation: every engine,
+// journal and parallel loop constructed afterwards reports into the
+// returned registry (engines built with an explicit Options.Metrics
+// keep their own). All series are pre-registered so exposition shows
+// them at zero. Idempotent.
+func EnableMetrics() *MetricsRegistry {
+	reg := obs.Default()
+	core.SetDefaultMetrics(reg)
+	core.RegisterMetrics(reg)
+	wal.RegisterMetrics(reg)
+	durable.RegisterMetrics(reg)
+	parallel.SetMetrics(reg)
+	return reg
+}
+
+// DisableMetrics turns process-wide instrumentation back off. Engines
+// constructed while it was on keep reporting into the registry they
+// resolved at construction time.
+func DisableMetrics() {
+	core.SetDefaultMetrics(nil)
+	parallel.SetMetrics(nil)
+}
+
+// Metrics returns a point-in-time snapshot of the process-wide
+// registry (every series at zero unless EnableMetrics was called and
+// work has run).
+func Metrics() MetricsSnapshot {
+	return obs.Default().Snapshot()
+}
+
+// MetricsHandler returns the introspection HTTP handler for the
+// process-wide registry: /metrics (Prometheus text), /metrics.json,
+// /debug/vars (expvar) and /debug/pprof/*. Mount it on any server, or
+// serve it directly:
+//
+//	graphbolt.EnableMetrics()
+//	go http.ListenAndServe("localhost:9090", graphbolt.MetricsHandler())
+func MetricsHandler() http.Handler {
+	return obs.Handler(obs.Default())
+}

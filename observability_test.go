@@ -1,0 +1,73 @@
+package graphbolt_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	graphbolt "repro"
+)
+
+// TestFacadeMetrics drives the observability facade the way an
+// importing application would: enable process-wide metrics, run an
+// engine, snapshot, and scrape the HTTP handler.
+func TestFacadeMetrics(t *testing.T) {
+	reg := graphbolt.EnableMetrics()
+	defer graphbolt.DisableMetrics()
+	if reg == nil {
+		t.Fatal("EnableMetrics returned nil")
+	}
+
+	g, err := graphbolt.BuildGraph(3, []graphbolt.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 0, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{MaxIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, err := eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{{From: 0, To: 2, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := graphbolt.Metrics()
+	if snap.Counters["graphbolt_engine_runs_total"] < 1 {
+		t.Errorf("runs_total = %d, want >= 1", snap.Counters["graphbolt_engine_runs_total"])
+	}
+	if snap.Counters["graphbolt_engine_batches_total"] < 1 {
+		t.Errorf("batches_total = %d, want >= 1", snap.Counters["graphbolt_engine_batches_total"])
+	}
+	// Pre-registered series must exist even though no WAL was opened.
+	if _, ok := snap.Histograms["graphbolt_wal_fsync_seconds"]; !ok {
+		t.Error("wal fsync histogram not pre-registered by EnableMetrics")
+	}
+	if _, ok := snap.Histograms["graphbolt_checkpoint_seconds"]; !ok {
+		t.Error("checkpoint histogram not pre-registered by EnableMetrics")
+	}
+
+	srv := httptest.NewServer(graphbolt.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"graphbolt_engine_runs_total",
+		"graphbolt_engine_refine_edge_computations_total",
+		"graphbolt_engine_hybrid_edge_computations_total",
+		"graphbolt_engine_tracked_snapshots",
+		"graphbolt_engine_tracked_snapshot_bytes",
+		"graphbolt_wal_fsync_seconds_bucket",
+		"graphbolt_checkpoint_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
