@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fmt bench
+.PHONY: build test check check-race race vet fmt bench
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ vet:
 
 race:
 	$(GO) test -race ./internal/...
+
+# check-race runs the whole module under the race detector, including
+# the root-package serving stress test (concurrent readers vs the
+# single-writer ingest loop).
+check-race:
+	$(GO) test -race ./...
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:

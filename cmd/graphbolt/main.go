@@ -20,12 +20,21 @@
 // stream runs, and every layer (engine, journal, checkpoints, parallel
 // loops) reports into the process-wide registry.
 //
+// With -serve, the stream is ingested through the concurrent serving
+// facade instead of the synchronous loop: batches flow through a
+// bounded, coalescing single-writer queue while -readers goroutines
+// concurrently sample published result snapshots, reporting read
+// throughput and staleness alongside ingest progress:
+//
+//	graphbolt -graph base.el -stream stream.el -serve -readers 8
+//
 // Progress is logged with log/slog, one line per event (load, recovery,
 // initial run, each applied batch); -log-format selects text or JSON.
 // Result output (-top, -validate) stays on stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -33,14 +42,18 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	graphbolt "repro"
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -62,6 +75,9 @@ func main() {
 		metricsAt  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
 		logFormat  = flag.String("log-format", "text", "progress log format: text | json")
 		trace      = flag.Bool("trace", false, "log a line per engine phase (run, refine, hybrid, checkpoint, ...)")
+		serveMode  = flag.Bool("serve", false, "ingest the stream through the concurrent serving facade while -readers goroutines query snapshots")
+		readers    = flag.Int("readers", 4, "concurrent snapshot readers in -serve mode")
+		queueDepth = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -79,6 +95,8 @@ func main() {
 		core.RegisterMetrics(reg)
 		wal.RegisterMetrics(reg)
 		durable.RegisterMetrics(reg)
+		serve.SetDefaultMetrics(reg)
+		serve.RegisterMetrics(reg)
 		parallel.SetMetrics(reg)
 		ln, err := net.Listen("tcp", *metricsAt)
 		if err != nil {
@@ -145,6 +163,9 @@ func main() {
 		if dcfg != nil {
 			fatal("-wal-dir is not supported with -algo triangles")
 		}
+		if *serveMode {
+			fatal("-serve is not supported with -algo triangles")
+		}
 		runTriangles(g, batches, *top, logger)
 		return
 	}
@@ -168,25 +189,35 @@ func main() {
 		}
 		batches = batches[skip:]
 	}
-	for i, b := range batches {
-		start = time.Now()
-		st, err = run.apply(b)
-		if err != nil {
-			fatal("batch %d: %v", i+1, err)
+	if *serveMode {
+		// The server owns the single-writer apply loop and (for -wal-dir)
+		// the journal: Close drains the queue and closes the journal, so
+		// run.close is not called on this path.
+		sc := serveConfig{readers: *readers, queueDepth: *queueDepth, metrics: reg, logger: logger}
+		if err := run.serve(sc, batches); err != nil {
+			fatal("serve: %v", err)
 		}
-		logger.Info("batch applied",
-			"seq", seqBase+uint64(i)+1,
-			"add", len(b.Add),
-			"del", len(b.Del),
-			"iterations", st.Iterations,
-			"refine_iterations", st.RefineIterations,
-			"hybrid_iterations", st.HybridIterations,
-			"edge_computations", st.EdgeComputations,
-			"duration", time.Since(start).Round(time.Microsecond),
-			"mode", m.String())
-	}
-	if err := run.close(); err != nil {
-		fatal("%v", err)
+	} else {
+		for i, b := range batches {
+			start = time.Now()
+			st, err = run.apply(b)
+			if err != nil {
+				fatal("batch %d: %v", i+1, err)
+			}
+			logger.Info("batch applied",
+				"seq", seqBase+uint64(i)+1,
+				"add", len(b.Add),
+				"del", len(b.Del),
+				"iterations", st.Iterations,
+				"refine_iterations", st.RefineIterations,
+				"hybrid_iterations", st.HybridIterations,
+				"edge_computations", st.EdgeComputations,
+				"duration", time.Since(start).Round(time.Microsecond),
+				"mode", m.String())
+		}
+		if err := run.close(); err != nil {
+			fatal("%v", err)
+		}
 	}
 	run.report()
 	if *validate {
@@ -235,13 +266,24 @@ func maxAbsDiffVector(a, b [][]float64) float64 {
 
 // runner adapts the differently-typed engines. run performs the initial
 // computation (or recovery) and reports how many stream batches the
-// recovered state already covers.
+// recovered state already covers. serve ingests the batches through the
+// concurrent serving facade instead of apply (and then owns shutdown,
+// including the journal).
 type runner struct {
 	run      func() (core.Stats, uint64)
 	apply    func(graph.Batch) (core.Stats, error)
 	close    func() error
+	serve    func(serveConfig, []graph.Batch) error
 	report   func()
 	validate func() (worst float64)
+}
+
+// serveConfig carries the -serve flag family.
+type serveConfig struct {
+	readers    int
+	queueDepth int
+	metrics    *obs.Registry
+	logger     *slog.Logger
 }
 
 // durableConfig carries the -wal-dir flag family plus the process-wide
@@ -256,13 +298,18 @@ type durableConfig struct {
 }
 
 // wire connects an engine to the runner entry points, inserting the
-// durable journaling layer when -wal-dir is set.
-func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.Stats, uint64), func(graph.Batch) (core.Stats, error), func() error) {
+// durable journaling layer when -wal-dir is set. The returned serve
+// closure ingests batches through the concurrent facade; it must only be
+// invoked after run (which, for the durable path, opens the journal).
+func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.Stats, uint64), func(graph.Batch) (core.Stats, error), func() error, func(serveConfig, []graph.Batch) error) {
+	var d *durable.Engine[V, A]
+	sv := func(sc serveConfig, batches []graph.Batch) error {
+		return serveBatches(eng, d, sc, batches)
+	}
 	if cfg == nil {
 		run := func() (core.Stats, uint64) { return eng.Run(), 0 }
-		return run, eng.ApplyBatch, func() error { return nil }
+		return run, eng.ApplyBatch, func() error { return nil }, sv
 	}
-	var d *durable.Engine[V, A]
 	run := func() (core.Stats, uint64) {
 		var err error
 		d, err = durable.Open(eng, cfg.dir, durable.Options{
@@ -288,7 +335,98 @@ func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.St
 	}
 	apply := func(b graph.Batch) (core.Stats, error) { return d.ApplyBatch(b) }
 	cl := func() error { return d.Close() }
-	return run, apply, cl
+	return run, apply, cl, sv
+}
+
+// serveBatches streams the batches through a graphbolt.Server while
+// sc.readers goroutines concurrently sample published snapshots,
+// then drains and closes the server (journal included, when durable).
+func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc serveConfig, batches []graph.Batch) error {
+	logger := sc.logger
+	var applyCalls, appliedBatches atomic.Int64
+	opts := graphbolt.ServerOptions{
+		QueueDepth: sc.queueDepth,
+		// Resuming an interrupted stream relies on journal seq == stream
+		// position (skip = d.Seq() above), so the durable path must
+		// journal exactly one record per stream batch.
+		DisableCoalescing: d != nil,
+		Metrics:           sc.metrics,
+		OnApply: func(ap graphbolt.Applied) {
+			applyCalls.Add(1)
+			appliedBatches.Add(int64(ap.Batches))
+			logger.Info("batches applied",
+				"seq", ap.Seq,
+				"coalesced", ap.Batches,
+				"iterations", ap.Stats.Iterations,
+				"refine_iterations", ap.Stats.RefineIterations,
+				"edge_computations", ap.Stats.EdgeComputations)
+		},
+	}
+	var srv *graphbolt.Server[V, A]
+	if d != nil {
+		srv = graphbolt.NewDurableServer(d, opts)
+	} else {
+		srv = graphbolt.NewServer(eng, opts)
+	}
+
+	var (
+		queries       atomic.Int64
+		maxStaleNanos atomic.Int64
+		done          = make(chan struct{})
+		wg            sync.WaitGroup
+	)
+	for r := 0; r < sc.readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := srv.Snapshot()
+				queries.Add(1)
+				stale := time.Since(s.PublishedAt).Nanoseconds()
+				for {
+					cur := maxStaleNanos.Load()
+					if stale <= cur || maxStaleNanos.CompareAndSwap(cur, stale) {
+						break
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for i := range batches {
+		if _, err := srv.Submit(ctx, batches[i]); err != nil {
+			close(done)
+			wg.Wait()
+			return fmt.Errorf("submit batch %d: %w", i+1, err)
+		}
+	}
+	if _, err := srv.Sync(ctx); err != nil {
+		close(done)
+		wg.Wait()
+		return fmt.Errorf("sync: %w", err)
+	}
+	ingest := time.Since(start)
+	close(done)
+	wg.Wait()
+	if err := srv.Close(ctx); err != nil {
+		return err
+	}
+	logger.Info("serve complete",
+		"batches", appliedBatches.Load(),
+		"apply_calls", applyCalls.Load(),
+		"generation", srv.Generation(),
+		"ingest_duration", ingest.Round(time.Microsecond),
+		"queries", queries.Load(),
+		"max_staleness", time.Duration(maxStaleNanos.Load()).Round(time.Microsecond))
+	return nil
 }
 
 func parseSync(s string) (wal.SyncPolicy, error) {
@@ -338,8 +476,8 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 		if err != nil {
 			return nil, err
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, scalarReport("rank", eng), scalarValidate(eng, algorithms.NewPageRank())}, nil
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, scalarReport("rank", eng), scalarValidate(eng, algorithms.NewPageRank())}, nil
 	case "coem":
 		n := g.NumVertices()
 		eng, err := core.NewEngine[float64, algorithms.CoEMAgg](g,
@@ -358,24 +496,24 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 			fresh.Run()
 			return maxAbsDiffScalar(eng.Values(), fresh.Values())
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, func() { printTop("score", eng.Values(), top) }, coemValidate}, nil
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, func() { printTop("score", eng.Values(), top) }, coemValidate}, nil
 	case "labelprop":
 		eng, err := core.NewEngine[[]float64, []float64](g,
 			algorithms.NewLabelProp(3, map[graph.VertexID]int{0: 0, 1: 1, 2: 2}), opts)
 		if err != nil {
 			return nil, err
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, func() { printVector("label", eng.Values(), top) },
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, func() { printVector("label", eng.Values(), top) },
 			vectorValidate(eng, algorithms.NewLabelProp(3, map[graph.VertexID]int{0: 0, 1: 1, 2: 2}))}, nil
 	case "bp":
 		eng, err := core.NewEngine[[]float64, []float64](g, algorithms.NewBeliefProp(3), opts)
 		if err != nil {
 			return nil, err
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, func() { printVector("belief", eng.Values(), top) },
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, func() { printVector("belief", eng.Values(), top) },
 			vectorValidate(eng, algorithms.NewBeliefProp(3))}, nil
 	case "cf":
 		eng, err := core.NewEngine[[]float64, algorithms.CFAgg](g, algorithms.NewCollabFilter(4), opts)
@@ -392,29 +530,29 @@ func buildRunner(algo string, g *graph.Graph, opts core.Options, source graph.Ve
 			fresh.Run()
 			return maxAbsDiffVector(eng.Values(), fresh.Values())
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, func() { printVector("factors", eng.Values(), top) }, cfValidate}, nil
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, func() { printVector("factors", eng.Values(), top) }, cfValidate}, nil
 	case "sssp":
 		eng, err := core.NewEngine[float64, float64](g, algorithms.NewSSSP(source), opts)
 		if err != nil {
 			return nil, err
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, scalarReport("distance", eng), scalarValidate(eng, algorithms.NewSSSP(source))}, nil
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, scalarReport("distance", eng), scalarValidate(eng, algorithms.NewSSSP(source))}, nil
 	case "bfs":
 		eng, err := core.NewEngine[float64, float64](g, algorithms.NewBFS(source), opts)
 		if err != nil {
 			return nil, err
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, scalarReport("hops", eng), scalarValidate(eng, algorithms.NewBFS(source))}, nil
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, scalarReport("hops", eng), scalarValidate(eng, algorithms.NewBFS(source))}, nil
 	case "cc":
 		eng, err := core.NewEngine[float64, float64](g, algorithms.NewConnectedComponents(), opts)
 		if err != nil {
 			return nil, err
 		}
-		run, apply, cl := wire(eng, cfg)
-		return &runner{run, apply, cl, scalarReport("component", eng), scalarValidate(eng, algorithms.NewConnectedComponents())}, nil
+		run, apply, cl, sv := wire(eng, cfg)
+		return &runner{run, apply, cl, sv, scalarReport("component", eng), scalarValidate(eng, algorithms.NewConnectedComponents())}, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}

@@ -14,6 +14,25 @@
 //	eng.ApplyBatch(graphbolt.Batch{Add: []graphbolt.Edge{{From: 1, To: 2, Weight: 1}}})
 //	ranks := eng.Values()                                // up to date for the new snapshot
 //
+// Values returns the value slice of the engine's atomically published
+// ResultSnapshot: it is immutable, safe to read from any goroutine while
+// later batches are applied, and shared by every reader of that
+// generation — treat it as read-only, or call eng.CopyValues() (or
+// snapshot.CopyValues()) for an owned slice.
+//
+// # Serving
+//
+// For concurrent workloads, wrap the engine in a Server: Submit feeds a
+// single-writer ingest loop through a bounded, coalescing queue, while
+// any number of goroutines read consistent snapshots lock-free:
+//
+//	srv := graphbolt.NewServer(eng, graphbolt.ServerOptions{})
+//	srv.Submit(ctx, batch)                               // async ingest
+//	srv.Query(func(s *graphbolt.ResultSnapshot[float64]) {
+//		_ = s.Values[3]                                  // consistent at s.Generation
+//	})
+//	srv.Close(ctx)                                       // drain and stop
+//
 // Algorithms are expressed against the incremental programming model of
 // the paper (§3.3): an aggregation operator ⊕ with incremental
 // counterparts ⊎ (Propagate), ⋃- (Retract) and ⋃△ (PropagateDelta), and

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
@@ -15,8 +16,12 @@ import (
 // NewEngine, call Run once for the initial computation, then ApplyBatch
 // for every mutation batch; Values returns the current results.
 //
-// An Engine is not safe for concurrent method calls; each call is
-// internally parallel.
+// Concurrency: the engine is single-writer, multi-reader. Run,
+// ApplyBatch and ReadSnapshot must be serialized (each call is
+// internally parallel), but Snapshot, Values, CopyValues and Level are
+// lock-free and safe from any goroutine at any time — they read the
+// immutable ResultSnapshot the writer published last. The serve layer
+// (internal/serve, graphbolt.Server) builds on exactly this split.
 type Engine[V, A any] struct {
 	p     Program[V, A]
 	delta DeltaProgram[V, A] // nil when unsupported or in RP mode
@@ -33,6 +38,11 @@ type Engine[V, A any] struct {
 	locks *parallel.StripedLocks
 	level int // completed BSP levels
 	ran   bool
+
+	// snap is the atomically published read view: an immutable
+	// (graph, values, level) triple readers access lock-free while the
+	// writer refines the live state above.
+	snap atomic.Pointer[ResultSnapshot[V]]
 
 	stats Stats         // cumulative
 	met   engineMetrics // zero value when instrumentation is off
@@ -67,15 +77,41 @@ func NewEngine[V, A any](g *graph.Graph, p Program[V, A], opts Options) (*Engine
 	return e, nil
 }
 
-// Graph returns the current snapshot.
-func (e *Engine[V, A]) Graph() *graph.Graph { return e.g }
+// Graph returns the graph of the published snapshot (the live graph
+// from the writer's perspective; for lock-free reads concurrent with
+// ApplyBatch, prefer Snapshot, which pairs the graph with its values).
+func (e *Engine[V, A]) Graph() *graph.Graph {
+	if s := e.snap.Load(); s != nil {
+		return s.Graph
+	}
+	return e.g
+}
 
-// Values returns the current vertex values. The slice aliases engine
-// state; treat it as read-only.
-func (e *Engine[V, A]) Values() []V { return e.vals }
+// Values returns the vertex values of the most recently published
+// result snapshot (nil before the first Run). The slice is owned by
+// that snapshot and never mutated afterwards, so it is safe to read
+// from any goroutine — but it is shared by every reader of the same
+// generation: treat it as read-only, or use CopyValues for an owned
+// slice.
+func (e *Engine[V, A]) Values() []V {
+	if s := e.snap.Load(); s != nil {
+		return s.Values
+	}
+	return nil
+}
+
+// CopyValues returns a freshly allocated copy of the published
+// snapshot's values (nil before the first Run), for callers that want
+// to retain or mutate results independently of the engine.
+func (e *Engine[V, A]) CopyValues() []V { return e.snap.Load().CopyValues() }
 
 // Level returns the number of completed BSP iterations backing Values.
-func (e *Engine[V, A]) Level() int { return e.level }
+func (e *Engine[V, A]) Level() int {
+	if s := e.snap.Load(); s != nil {
+		return s.Level
+	}
+	return 0
+}
 
 // TotalStats returns cumulative work statistics across all calls.
 func (e *Engine[V, A]) TotalStats() Stats { return e.stats }
@@ -111,6 +147,7 @@ func (e *Engine[V, A]) Run() Stats {
 	e.stats.Add(st)
 	e.met.observeRun(st)
 	e.refreshTrackingMetrics()
+	e.publish()
 	sp.End()
 	return st
 }

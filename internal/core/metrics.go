@@ -39,6 +39,7 @@ type engineMetrics struct {
 
 	trackedSnapshots *obs.Gauge
 	trackedBytes     *obs.Gauge
+	generation       *obs.Gauge
 
 	runDuration   *obs.Histogram
 	batchDuration *obs.Histogram
@@ -77,6 +78,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 			"Aggregation values currently held by the dependency store (pruning effectiveness, paper section 3.2)."),
 		trackedBytes: r.Gauge("graphbolt_engine_tracked_snapshot_bytes",
 			"Heap bytes held by the dependency store (Table 9's metric)."),
+		generation: r.Gauge("graphbolt_engine_snapshot_generation",
+			"Generation of the most recently published result snapshot."),
 		runDuration: r.Histogram("graphbolt_engine_run_duration_seconds",
 			"Initial-computation latency.", obs.DefTimeBuckets),
 		batchDuration: r.Histogram("graphbolt_engine_batch_duration_seconds",
@@ -113,6 +116,11 @@ func (m *engineMetrics) observeBatch(st Stats) {
 	if st.HybridIterations > 0 {
 		m.hybridSwitches.Inc()
 	}
+}
+
+// observeGeneration publishes the latest result-snapshot generation.
+func (m *engineMetrics) observeGeneration(gen uint64) {
+	m.generation.Set(float64(gen))
 }
 
 // observeTracking refreshes the dependency-store gauges.

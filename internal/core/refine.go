@@ -59,6 +59,7 @@ func (e *Engine[V, A]) ApplyBatch(b graph.Batch) (Stats, error) {
 		e.stats.Add(st)
 		e.met.observeBatch(st)
 		e.refreshTrackingMetrics()
+		e.publish()
 		sp.End()
 	})
 	if err != nil {

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func newTestPR(t *testing.T, g *graph.Graph, opts core.Options) *core.Engine[float64, float64] {
+	t.Helper()
+	e, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSnapshotPublication pins the read/write separation contract: no
+// snapshot before Run, generation 1 after it, +1 per batch, and an old
+// snapshot held across later batches stays frozen — its values, level
+// and graph are the ones published at its generation, untouched by
+// subsequent refinement.
+func TestSnapshotPublication(t *testing.T) {
+	g := graph.MustBuild(60, gen.RMAT(11, 60, 360, gen.WeightUniform))
+	e := newTestPR(t, g, core.Options{MaxIterations: 8})
+
+	if e.Snapshot() != nil {
+		t.Fatal("snapshot published before Run")
+	}
+	if e.Values() != nil {
+		t.Fatal("Values non-nil before Run")
+	}
+	if e.CopyValues() != nil {
+		t.Fatal("CopyValues non-nil before Run")
+	}
+
+	e.Run()
+	s1 := e.Snapshot()
+	if s1 == nil || s1.Generation != 1 {
+		t.Fatalf("snapshot after Run = %+v, want generation 1", s1)
+	}
+	if s1.Graph.NumVertices() != 60 {
+		t.Fatalf("snapshot graph has %d vertices", s1.Graph.NumVertices())
+	}
+	if s1.Level != e.Level() || s1.Level == 0 {
+		t.Fatalf("snapshot level %d vs engine %d", s1.Level, e.Level())
+	}
+	frozen := append([]float64(nil), s1.Values...)
+
+	b := graph.Batch{Add: []graph.Edge{{From: 0, To: 59, Weight: 1}, {From: 59, To: 7, Weight: 1}}}
+	if _, err := e.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Snapshot()
+	if s2.Generation != 2 {
+		t.Fatalf("generation after batch = %d, want 2", s2.Generation)
+	}
+	if &s1.Values[0] == &s2.Values[0] {
+		t.Fatal("consecutive snapshots share a values slice")
+	}
+	for v := range frozen {
+		if s1.Values[v] != frozen[v] {
+			t.Fatalf("held snapshot mutated at vertex %d: %v -> %v", v, frozen[v], s1.Values[v])
+		}
+	}
+	if s1.Graph.NumEdges() == s2.Graph.NumEdges() {
+		t.Fatal("batch did not change the published graph")
+	}
+
+	// The published view and the writer's accessors agree.
+	if got := e.Values(); &got[0] != &s2.Values[0] {
+		t.Fatal("Values() does not alias the published snapshot")
+	}
+	owned := e.CopyValues()
+	if &owned[0] == &s2.Values[0] {
+		t.Fatal("CopyValues aliases the published snapshot")
+	}
+	owned[0] = -1
+	if s2.Values[0] == -1 {
+		t.Fatal("mutating CopyValues result leaked into the snapshot")
+	}
+}
+
+// TestSnapshotRejectedBatchKeepsGeneration: a batch that fails
+// validation must not publish a new generation.
+func TestSnapshotRejectedBatchKeepsGeneration(t *testing.T) {
+	g := graph.MustBuild(10, gen.RMAT(13, 10, 40, gen.WeightUniform))
+	e := newTestPR(t, g, core.Options{MaxIterations: 5})
+	e.Run()
+	before := e.Snapshot()
+	bad := graph.Batch{Add: []graph.Edge{{From: 0, To: graph.MaxVertexID + 1, Weight: 1}}}
+	if _, err := e.ApplyBatch(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if after := e.Snapshot(); after != before {
+		t.Fatalf("rejected batch published generation %d", after.Generation)
+	}
+}

@@ -174,5 +174,6 @@ func (e *Engine[V, A]) ReadSnapshot(r io.Reader) error {
 			e.hist.Grow(st.Vertices)
 		}
 	}
+	e.publish()
 	return nil
 }

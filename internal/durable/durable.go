@@ -92,7 +92,10 @@ type RecoveryInfo struct {
 }
 
 // Engine wraps a core.Engine with journaling and checkpointing. Like
-// the core engine it is not safe for concurrent method calls.
+// the core engine it is single-writer, multi-reader: ApplyBatch,
+// Checkpoint, Seq and Close must be serialized (the serve layer's apply
+// loop does this), while Values, Snapshot and Graph read the atomically
+// published result snapshot and are safe from any goroutine.
 type Engine[V, A any] struct {
 	eng  *core.Engine[V, A]
 	w    *wal.WAL
@@ -214,8 +217,14 @@ func (d *Engine[V, A]) Seq() uint64 { return d.seq }
 // TotalStats). Mutating it directly bypasses the journal.
 func (d *Engine[V, A]) Core() *core.Engine[V, A] { return d.eng }
 
-// Values returns the current vertex values (read-only alias).
+// Values returns the vertex values of the engine's published result
+// snapshot (immutable; shared by every reader of that generation).
 func (d *Engine[V, A]) Values() []V { return d.eng.Values() }
+
+// Snapshot returns the engine's most recently published result
+// snapshot — the lock-free read path; safe from any goroutine while
+// batches are applied.
+func (d *Engine[V, A]) Snapshot() *core.ResultSnapshot[V] { return d.eng.Snapshot() }
 
 // Graph returns the current graph snapshot.
 func (d *Engine[V, A]) Graph() *graph.Graph { return d.eng.Graph() }

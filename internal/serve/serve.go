@@ -1,0 +1,465 @@
+// Package serve provides the ingest half of the read/write-separated
+// serving architecture: a single-writer apply loop fed by a bounded
+// mutation queue.
+//
+// The engine's BSP guarantee makes the split safe: every completed
+// ApplyBatch publishes an immutable result snapshot (core.ResultSnapshot)
+// that readers access lock-free, so the only synchronization problem
+// left is ordering writers — which this package solves by funneling all
+// mutations through one goroutine. Producers call Submit from any
+// goroutine; the loop dequeues batches, optionally coalesces compatible
+// neighbors up to a size cap, and applies them one at a time to the
+// wrapped engine. Wrapping a durable.Engine preserves its
+// journal-before-mutate ordering, because the journaling happens inside
+// the same single-threaded apply call.
+//
+// Coalescing merges a contiguous run of queued batches into one
+// ApplyBatch call, amortizing refinement cost under bursty ingest. Two
+// batches are compatible unless the later one deletes an edge key the
+// accumulated batch adds: within one graph.Batch, deletions match only
+// pre-batch edges, so folding such a pair into one batch would change
+// which edge instance dies. Incompatible batches simply end the run and
+// are applied in a later call; batches are never split or reordered.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Applier is the single-writer mutation target: core.Engine and
+// durable.Engine both satisfy it.
+type Applier interface {
+	ApplyBatch(graph.Batch) (core.Stats, error)
+}
+
+// Policy selects what Submit does when the queue is full.
+type Policy int
+
+const (
+	// Block makes Submit wait for queue space (or context cancellation).
+	// The default: backpressure propagates to producers.
+	Block Policy = iota
+	// Reject makes Submit fail fast with ErrQueueFull.
+	Reject
+)
+
+// Default sizing. DefaultQueueDepth bounds memory under producer bursts;
+// DefaultMaxBatchEdges caps how large a coalesced batch may grow (larger
+// merges amortize refinement better but raise per-apply latency).
+const (
+	DefaultQueueDepth    = 64
+	DefaultMaxBatchEdges = 4096
+)
+
+// Typed failure sentinels, for errors.Is.
+var (
+	// ErrQueueFull reports a Submit rejected under the Reject policy.
+	ErrQueueFull = errors.New("serve: mutation queue full")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("serve: apply loop closed")
+)
+
+// Options configures a Loop.
+type Options struct {
+	// QueueDepth bounds the number of queued (unapplied) batches.
+	// Default DefaultQueueDepth.
+	QueueDepth int
+
+	// MaxBatchEdges caps the total edge count (Add+Del) of a coalesced
+	// batch; merging stops at the cap. A single submitted batch larger
+	// than the cap is still applied whole — batches are never split.
+	// Default DefaultMaxBatchEdges.
+	MaxBatchEdges int
+
+	// DisableCoalescing applies every submitted batch individually.
+	DisableCoalescing bool
+
+	// Policy selects Block (default) or Reject behavior on a full queue.
+	Policy Policy
+
+	// Metrics, when non-nil, receives queue instrumentation (depth,
+	// submitted/applied/rejected/coalesced counters, queue-wait
+	// histogram). Nil means instrumentation is off.
+	Metrics *obs.Registry
+
+	// OnApply, when non-nil, is called from the apply goroutine after
+	// every ApplyBatch returns (success or failure). Keep it fast; it
+	// runs on the write path.
+	OnApply func(Applied)
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.MaxBatchEdges <= 0 {
+		o.MaxBatchEdges = DefaultMaxBatchEdges
+	}
+	if o.Metrics == nil {
+		o.Metrics = defaultMetrics.Load()
+	}
+	return o
+}
+
+// Applied reports one completed apply call.
+type Applied struct {
+	// Seq is the 1-based count of apply calls the loop has made; with a
+	// quiescent start it equals the snapshot generation delta since the
+	// loop began.
+	Seq uint64
+	// Batches is the number of submitted batches merged into this apply
+	// (1 when no coalescing happened).
+	Batches int
+	// Stats is the engine work the apply reported.
+	Stats core.Stats
+	// Err is the apply failure, if any. An apply error is terminal for
+	// the loop (see Loop.Err).
+	Err error
+}
+
+// Ticket tracks one submitted batch through the loop.
+type Ticket struct {
+	done chan Applied
+}
+
+// Done returns a channel that receives exactly one Applied once the
+// batch's apply call completes (possibly covering coalesced neighbors).
+func (t *Ticket) Done() <-chan Applied { return t.done }
+
+// Wait blocks until the batch is applied or ctx is done.
+func (t *Ticket) Wait(ctx context.Context) (Applied, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case a := <-t.done:
+		return a, a.Err
+	case <-ctx.Done():
+		return Applied{}, ctx.Err()
+	}
+}
+
+// pending is one queued batch.
+type pending struct {
+	b        graph.Batch
+	t        *Ticket
+	enqueued time.Time
+}
+
+// Loop is the single-writer apply loop. Construct with NewLoop; Submit
+// is safe from any goroutine. All mutations of the wrapped Applier must
+// go through the loop — mutating it directly breaks the single-writer
+// invariant.
+type Loop struct {
+	applier Applier
+	opts    Options
+	met     loopMetrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        []pending
+	closed   bool
+	failure  error
+	inflight bool
+	seq      uint64
+	done     chan struct{}
+}
+
+// NewLoop starts the apply goroutine over a. The loop owns all writes
+// to a until Close.
+func NewLoop(a Applier, opts Options) *Loop {
+	opts = opts.withDefaults()
+	l := &Loop{
+		applier: a,
+		opts:    opts,
+		met:     newLoopMetrics(opts.Metrics),
+		done:    make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+// Submit validates and enqueues a batch. Under the Block policy it
+// waits for queue space (bounded by ctx); under Reject it fails fast
+// with ErrQueueFull. The returned Ticket resolves when the batch's
+// apply call completes; fire-and-forget callers may discard it.
+//
+// A nil ctx means no deadline. Submitting after Close returns
+// ErrClosed; after a terminal apply failure it returns that failure.
+func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.Policy == Reject {
+		if err := l.submitErrLocked(); err != nil {
+			return nil, err
+		}
+		if len(l.q) >= l.opts.QueueDepth {
+			l.met.rejected.Inc()
+			return nil, ErrQueueFull
+		}
+	} else {
+		if err := l.awaitLocked(ctx, func() bool {
+			return l.submitErrLocked() != nil || len(l.q) < l.opts.QueueDepth
+		}); err != nil {
+			return nil, err
+		}
+		if err := l.submitErrLocked(); err != nil {
+			return nil, err
+		}
+	}
+	t := &Ticket{done: make(chan Applied, 1)}
+	l.q = append(l.q, pending{b: b, t: t, enqueued: time.Now()})
+	l.met.submitted.Inc()
+	l.met.depth.Set(float64(len(l.q)))
+	l.cond.Broadcast()
+	return t, nil
+}
+
+// submitErrLocked returns why new submissions are refused, or nil.
+func (l *Loop) submitErrLocked() error {
+	if l.failure != nil {
+		return l.failure
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// awaitLocked waits on the loop's condition until pred holds or ctx is
+// done. l.mu must be held; it is held again on return.
+func (l *Loop) awaitLocked(ctx context.Context, pred func() bool) error {
+	if pred() {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+	for !pred() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.cond.Wait()
+	}
+	return nil
+}
+
+// Sync blocks until the queue is fully drained and no apply is in
+// flight (or ctx is done). It returns the loop's terminal failure, if
+// any. Batches submitted concurrently with Sync extend the wait.
+func (l *Loop) Sync(ctx context.Context) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.awaitLocked(ctx, func() bool {
+		return l.failure != nil || (len(l.q) == 0 && !l.inflight)
+	}); err != nil {
+		return err
+	}
+	return l.failure
+}
+
+// Close stops accepting submissions, drains the queue, and waits for
+// the apply goroutine to exit (bounded by ctx; nil means wait
+// indefinitely). It returns the loop's terminal failure, if any.
+// Close is idempotent.
+func (l *Loop) Close(ctx context.Context) error {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if ctx == nil {
+		<-l.done
+	} else {
+		select {
+		case <-l.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failure
+}
+
+// Done returns a channel closed when the apply goroutine has exited
+// (after Close drained the queue, or after a terminal failure).
+func (l *Loop) Done() <-chan struct{} { return l.done }
+
+// Seq returns the number of apply calls completed so far.
+func (l *Loop) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Depth returns the current queue length.
+func (l *Loop) Depth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.q)
+}
+
+// Err returns the loop's terminal failure (an apply error), or nil. A
+// failed loop no longer accepts submissions: the wrapped engine's
+// in-memory state is undefined after a mid-apply panic, so it must be
+// discarded — a durable engine can be reopened from its checkpoint and
+// journal.
+func (l *Loop) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failure
+}
+
+// run is the single-writer apply goroutine.
+func (l *Loop) run() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.closed && l.failure == nil {
+			l.cond.Wait()
+		}
+		if len(l.q) == 0 || l.failure != nil {
+			// Closed and drained, or terminally failed: fail whatever is
+			// still queued so no Ticket waits forever.
+			failQ := l.q
+			l.q = nil
+			failure := l.failure
+			l.met.depth.Set(0)
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			for _, p := range failQ {
+				p.t.done <- Applied{Err: failure}
+			}
+			return
+		}
+		batch, tickets, waits := l.popLocked()
+		l.inflight = true
+		l.met.depth.Set(float64(len(l.q)))
+		l.mu.Unlock()
+
+		for _, w := range waits {
+			l.met.queueWait.Observe(w.Seconds())
+		}
+		st, err := l.applier.ApplyBatch(batch)
+
+		l.mu.Lock()
+		l.seq++
+		res := Applied{Seq: l.seq, Batches: len(tickets), Stats: st, Err: err}
+		l.inflight = false
+		if err != nil {
+			// All pre-validated input reaches the engine, so an apply
+			// error means a mid-apply panic (undefined engine state) or a
+			// journaling failure — both terminal for this writer.
+			l.failure = fmt.Errorf("serve: apply: %w", err)
+			l.met.applyErrors.Inc()
+		} else {
+			l.met.applied.Inc()
+			if n := len(tickets) - 1; n > 0 {
+				l.met.coalesced.Add(int64(n))
+			}
+		}
+		cb := l.opts.OnApply
+		l.cond.Broadcast()
+		l.mu.Unlock()
+
+		for _, t := range tickets {
+			t.done <- res
+		}
+		if cb != nil {
+			cb(res)
+		}
+	}
+}
+
+// edgeKey identifies an edge by endpoints, the granularity deletions
+// match at.
+type edgeKey struct{ from, to graph.VertexID }
+
+// popLocked dequeues the next batch and, unless coalescing is disabled,
+// merges compatible successors up to the size cap. It returns the batch
+// to apply, the tickets it covers, and each batch's time in queue.
+// l.mu must be held.
+func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration) {
+	now := time.Now()
+	first := l.q[0]
+	l.q[0] = pending{}
+	l.q = l.q[1:]
+	acc := first.b
+	tickets := []*Ticket{first.t}
+	waits := []time.Duration{now.Sub(first.enqueued)}
+	if l.opts.DisableCoalescing {
+		return acc, tickets, waits
+	}
+
+	size := len(acc.Add) + len(acc.Del)
+	var addKeys map[edgeKey]struct{}
+	merged := false
+	for len(l.q) > 0 {
+		nb := l.q[0].b
+		if size+len(nb.Add)+len(nb.Del) > l.opts.MaxBatchEdges {
+			break
+		}
+		if addKeys == nil {
+			addKeys = make(map[edgeKey]struct{}, len(acc.Add))
+			for _, e := range acc.Add {
+				addKeys[edgeKey{e.From, e.To}] = struct{}{}
+			}
+		}
+		if delHitsPendingAdd(nb.Del, addKeys) {
+			break
+		}
+		if !merged {
+			// Copy before extending: the submitted slices belong to the
+			// producers.
+			acc = graph.Batch{
+				Add: append([]graph.Edge(nil), acc.Add...),
+				Del: append([]graph.Edge(nil), acc.Del...),
+			}
+			merged = true
+		}
+		acc.Add = append(acc.Add, nb.Add...)
+		acc.Del = append(acc.Del, nb.Del...)
+		for _, e := range nb.Add {
+			addKeys[edgeKey{e.From, e.To}] = struct{}{}
+		}
+		size += len(nb.Add) + len(nb.Del)
+		tickets = append(tickets, l.q[0].t)
+		waits = append(waits, now.Sub(l.q[0].enqueued))
+		l.q[0] = pending{}
+		l.q = l.q[1:]
+	}
+	return acc, tickets, waits
+}
+
+// delHitsPendingAdd reports whether any deletion targets an edge key the
+// accumulated batch would add. Such a pair must stay in separate
+// batches: within one batch, deletions match only pre-batch edge
+// instances, so merging would spare the pending addition and delete a
+// pre-existing parallel edge instead — diverging from sequential
+// application.
+func delHitsPendingAdd(del []graph.Edge, addKeys map[edgeKey]struct{}) bool {
+	for _, e := range del {
+		if _, ok := addKeys[edgeKey{e.From, e.To}]; ok {
+			return true
+		}
+	}
+	return false
+}

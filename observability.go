@@ -7,6 +7,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/serve"
 	"repro/internal/wal"
 )
 
@@ -40,6 +41,8 @@ func EnableMetrics() *MetricsRegistry {
 	core.RegisterMetrics(reg)
 	wal.RegisterMetrics(reg)
 	durable.RegisterMetrics(reg)
+	serve.SetDefaultMetrics(reg)
+	serve.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }
@@ -49,6 +52,7 @@ func EnableMetrics() *MetricsRegistry {
 // resolved at construction time.
 func DisableMetrics() {
 	core.SetDefaultMetrics(nil)
+	serve.SetDefaultMetrics(nil)
 	parallel.SetMetrics(nil)
 }
 

@@ -1,0 +1,270 @@
+package graphbolt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// ResultSnapshot is the immutable, atomically published read view of a
+// completed computation: graph generation, vertex values, BSP level and
+// cumulative stats. Engine.Snapshot, Server.Snapshot and Server.Query
+// hand these out; readers may hold one indefinitely while mutations
+// stream.
+type ResultSnapshot[V any] = core.ResultSnapshot[V]
+
+// SubmitPolicy selects what Server.Submit does when the ingest queue is
+// full.
+type SubmitPolicy = serve.Policy
+
+const (
+	// SubmitBlock makes Submit wait for queue space (the default):
+	// backpressure propagates to producers.
+	SubmitBlock = serve.Block
+	// SubmitReject makes Submit fail fast with ErrQueueFull.
+	SubmitReject = serve.Reject
+)
+
+// Ingest failure sentinels, for errors.Is.
+var (
+	// ErrQueueFull reports a Submit rejected under SubmitReject.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrServerClosed reports a Submit or Wait after Close.
+	ErrServerClosed = serve.ErrClosed
+)
+
+// Applied reports one completed apply call of the ingest loop.
+type Applied = serve.Applied
+
+// SubmitTicket tracks one submitted batch through the ingest loop.
+type SubmitTicket = serve.Ticket
+
+// ServerOptions configures a Server's ingest pipeline.
+type ServerOptions struct {
+	// QueueDepth bounds the number of queued (unapplied) batches.
+	// Default serve.DefaultQueueDepth (64).
+	QueueDepth int
+	// MaxBatchEdges caps the edge count of a coalesced batch. Default
+	// serve.DefaultMaxBatchEdges (4096).
+	MaxBatchEdges int
+	// DisableCoalescing applies every submitted batch individually.
+	DisableCoalescing bool
+	// Policy selects SubmitBlock (default) or SubmitReject.
+	Policy SubmitPolicy
+	// Metrics, when non-nil, receives ingest and read-path
+	// instrumentation (queue depth, coalesced batches, read staleness).
+	// Nil falls back to the process-wide registry installed by
+	// EnableMetrics; both nil means instrumentation is off.
+	Metrics *MetricsRegistry
+	// OnApply, when non-nil, is called from the apply goroutine after
+	// every apply call. Keep it fast; it runs on the write path.
+	OnApply func(Applied)
+}
+
+// Server is the concurrent serving facade over an engine: a
+// single-writer ingest loop (Submit) feeding mutations through a
+// bounded, coalescing queue, and a lock-free read path (Snapshot,
+// Query, Wait) over atomically published result snapshots. Any number
+// of goroutines may read while batches stream; the BSP guarantee makes
+// every observed snapshot equal to a from-scratch run at its
+// generation.
+//
+// Construct with NewServer (in-memory engine) or NewDurableServer
+// (journaled engine — the journal-before-mutate ordering is preserved
+// because journaling happens inside the single-writer apply loop).
+type Server[V, A any] struct {
+	eng  *core.Engine[V, A]
+	loop *serve.Loop
+	read serve.ReadMetrics
+	gen0 uint64 // snapshot generation when the loop started
+
+	closeEng func() error // durable close, nil for in-memory
+
+	mu     sync.Mutex
+	watch  chan struct{} // closed and replaced after every apply
+	closed bool
+}
+
+// NewServer wraps an in-memory engine. If the engine has not run yet,
+// NewServer performs the initial computation. From this point on, all
+// mutations must go through Submit — calling Run or ApplyBatch on the
+// engine directly breaks the single-writer invariant.
+func NewServer[V, A any](eng *Engine[V, A], opts ServerOptions) *Server[V, A] {
+	if eng.Snapshot() == nil {
+		eng.Run()
+	}
+	return newServer(eng, eng, nil, opts)
+}
+
+// NewDurableServer wraps a durable engine opened with OpenDurable:
+// every batch is journaled before it mutates memory, inside the
+// single-writer apply loop. Close also closes the journal.
+func NewDurableServer[V, A any](d *DurableEngine[V, A], opts ServerOptions) *Server[V, A] {
+	return newServer(d.Core(), d, d.Close, opts)
+}
+
+func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func() error, opts ServerOptions) *Server[V, A] {
+	s := &Server[V, A]{
+		eng:      eng,
+		gen0:     eng.Snapshot().Generation,
+		closeEng: closeEng,
+		watch:    make(chan struct{}),
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = serve.DefaultMetrics()
+	}
+	s.read = serve.NewReadMetrics(reg)
+	userCb := opts.OnApply
+	s.loop = serve.NewLoop(a, serve.Options{
+		QueueDepth:        opts.QueueDepth,
+		MaxBatchEdges:     opts.MaxBatchEdges,
+		DisableCoalescing: opts.DisableCoalescing,
+		Policy:            opts.Policy,
+		Metrics:           reg,
+		OnApply: func(ap Applied) {
+			s.mu.Lock()
+			close(s.watch)
+			s.watch = make(chan struct{})
+			s.mu.Unlock()
+			if userCb != nil {
+				userCb(ap)
+			}
+		},
+	})
+	return s
+}
+
+// Submit validates and enqueues a mutation batch for the single-writer
+// apply loop. Under SubmitBlock it waits for queue space (bounded by
+// ctx, which may be nil); under SubmitReject it fails fast with
+// ErrQueueFull. The returned ticket resolves once the batch's apply
+// call completes; fire-and-forget callers may discard it.
+func (s *Server[V, A]) Submit(ctx context.Context, b Batch) (*SubmitTicket, error) {
+	return s.loop.Submit(ctx, b)
+}
+
+// SubmitWait submits a batch and blocks until a snapshot covering it is
+// published, returning that snapshot. Due to coalescing the snapshot
+// may also cover neighboring batches.
+func (s *Server[V, A]) SubmitWait(ctx context.Context, b Batch) (*ResultSnapshot[V], error) {
+	tk, err := s.Submit(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := tk.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wait(ctx, s.gen0+ap.Seq)
+}
+
+// Snapshot returns the most recently published result snapshot. It is
+// lock-free and safe from any goroutine, concurrently with streaming
+// mutations; the snapshot is immutable and may be held indefinitely.
+func (s *Server[V, A]) Snapshot() *ResultSnapshot[V] {
+	snap := s.eng.Snapshot()
+	s.read.Observe(snap.PublishedAt)
+	return snap
+}
+
+// Query runs fn against the current result snapshot. The snapshot is
+// internally consistent — graph, values and level belong to the same
+// generation — and immutable, so fn needs no synchronization with the
+// writer. fn must not mutate the snapshot's values; use
+// ResultSnapshot.CopyValues for an owned slice.
+func (s *Server[V, A]) Query(fn func(*ResultSnapshot[V])) {
+	fn(s.Snapshot())
+}
+
+// Generation returns the generation of the current snapshot.
+func (s *Server[V, A]) Generation() uint64 {
+	return s.eng.Snapshot().Generation
+}
+
+// Wait blocks until a snapshot with Generation >= gen is published,
+// then returns it. A nil ctx means no deadline. It fails with the
+// loop's terminal error if ingest failed, or ErrServerClosed if the
+// server closed before reaching gen.
+func (s *Server[V, A]) Wait(ctx context.Context, gen uint64) (*ResultSnapshot[V], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		if snap := s.eng.Snapshot(); snap != nil && snap.Generation >= gen {
+			return snap, nil
+		}
+		if err := s.loop.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		w := s.watch
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			// No further applies will happen; re-check once to close the
+			// race with the final apply, then fail.
+			if snap := s.eng.Snapshot(); snap != nil && snap.Generation >= gen {
+				return snap, nil
+			}
+			return nil, fmt.Errorf("%w: generation %d never published", ErrServerClosed, gen)
+		}
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Sync blocks until every batch submitted before the call has been
+// applied, then returns the current snapshot. A nil ctx means no
+// deadline.
+func (s *Server[V, A]) Sync(ctx context.Context) (*ResultSnapshot[V], error) {
+	if err := s.loop.Sync(ctx); err != nil {
+		return nil, err
+	}
+	return s.eng.Snapshot(), nil
+}
+
+// QueueDepth returns the number of batches currently queued for the
+// apply loop.
+func (s *Server[V, A]) QueueDepth() int { return s.loop.Depth() }
+
+// Err returns the ingest loop's terminal failure, or nil. After a
+// terminal failure the wrapped engine must be discarded; a durable
+// engine can be reopened from its checkpoint and journal.
+func (s *Server[V, A]) Err() error { return s.loop.Err() }
+
+// Close stops accepting submissions, drains the queue, waits for the
+// apply goroutine to exit (bounded by ctx; nil waits indefinitely),
+// and — for durable servers — closes the journal. Reads remain valid
+// after Close: the last published snapshot stays available.
+func (s *Server[V, A]) Close(ctx context.Context) error {
+	err := s.loop.Close(ctx)
+	select {
+	case <-s.loop.Done():
+	default:
+		// ctx expired while the queue was still draining: the loop is
+		// still writing, so leave the journal open and the server
+		// accepting Wait calls; a later Close can finish the job.
+		return err
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.watch)
+		s.watch = make(chan struct{})
+	}
+	s.mu.Unlock()
+	if s.closeEng != nil {
+		if cerr := s.closeEng(); err == nil {
+			err = cerr
+		}
+		s.closeEng = nil
+	}
+	return err
+}
