@@ -1,6 +1,11 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test check check-race race vet fmt bench
+# Per-package statement-coverage floors enforced by `make cover`.
+COVER_FLOOR_core  = 70
+COVER_FLOOR_serve = 70
+
+.PHONY: build test check check-race race vet fmt bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -37,3 +42,39 @@ check: fmt vet build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# fuzz runs every fuzz target for FUZZTIME each (Go only allows one
+# -fuzz pattern per invocation). The seed corpora alone run in `make
+# test`; this target actually mutates.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -run=^$$ -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/core/
+
+# cover runs the full test suite with statement coverage and fails if
+# any package with a COVER_FLOOR_<name> above dips under its floor. The
+# summary (and GITHUB_STEP_SUMMARY, when set) gets the per-package table.
+cover:
+	@$(GO) test -cover ./... > cover.out 2>&1 || { cat cover.out; rm -f cover.out; exit 1; }
+	@awk ' \
+		/^ok/ { \
+			pkg = $$2; cov = ""; \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { cov = $$(i+1); sub(/%/, "", cov) } \
+			if (cov == "") next; \
+			printf "%-40s %6.1f%%\n", pkg, cov; \
+			floor = 0; \
+			if (pkg == "repro/internal/core")  floor = $(COVER_FLOOR_core); \
+			if (pkg == "repro/internal/serve") floor = $(COVER_FLOOR_serve); \
+			if (floor > 0 && cov + 0 < floor) { \
+				printf "FAIL: %s coverage %.1f%% is under the %d%% floor\n", pkg, cov, floor; \
+				bad = 1; \
+			} \
+		} \
+		END { exit bad }' cover.out > cover.summary; \
+	status=$$?; \
+	cat cover.summary; \
+	if [ -n "$$GITHUB_STEP_SUMMARY" ]; then \
+		{ echo '### Coverage'; echo '```'; cat cover.summary; echo '```'; } >> "$$GITHUB_STEP_SUMMARY"; \
+	fi; \
+	rm -f cover.out cover.summary; \
+	exit $$status

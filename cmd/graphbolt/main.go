@@ -28,6 +28,14 @@
 //
 //	graphbolt -graph base.el -stream stream.el -serve -readers 8
 //
+// With -retain N, the last N published generations stay addressable for
+// point-in-time reads (Server.SnapshotAt, Server.Diff); -query-cache B
+// gives -serve mode a B-byte per-generation cache memoizing derived
+// reads, with hit/miss/bytes visible under graphbolt_qcache_* in
+// /metrics:
+//
+//	graphbolt -graph base.el -stream stream.el -serve -retain 16 -query-cache 1048576
+//
 // Progress is logged with log/slog, one line per event (load, recovery,
 // initial run, each applied batch); -log-format selects text or JSON.
 // Result output (-top, -validate) stays on stdout.
@@ -53,6 +61,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/qcache"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/wal"
@@ -78,6 +87,8 @@ func main() {
 		serveMode  = flag.Bool("serve", false, "ingest the stream through the concurrent serving facade while -readers goroutines query snapshots")
 		readers    = flag.Int("readers", 4, "concurrent snapshot readers in -serve mode")
 		queueDepth = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default)")
+		retain     = flag.Int("retain", 1, "published generations kept addressable for point-in-time reads (SnapshotAt)")
+		queryCache = flag.Int64("query-cache", 0, "per-generation query cache budget in bytes for -serve mode (0 = off)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -97,6 +108,7 @@ func main() {
 		durable.RegisterMetrics(reg)
 		serve.SetDefaultMetrics(reg)
 		serve.RegisterMetrics(reg)
+		qcache.RegisterMetrics(reg)
 		parallel.SetMetrics(reg)
 		ln, err := net.Listen("tcp", *metricsAt)
 		if err != nil {
@@ -157,7 +169,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon, Metrics: reg, Tracer: tracer}
+	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon, Retain: *retain, Metrics: reg, Tracer: tracer}
 
 	if *algo == "triangles" {
 		if dcfg != nil {
@@ -193,7 +205,7 @@ func main() {
 		// The server owns the single-writer apply loop and (for -wal-dir)
 		// the journal: Close drains the queue and closes the journal, so
 		// run.close is not called on this path.
-		sc := serveConfig{readers: *readers, queueDepth: *queueDepth, metrics: reg, logger: logger}
+		sc := serveConfig{readers: *readers, queueDepth: *queueDepth, cacheBytes: *queryCache, metrics: reg, logger: logger}
 		if err := run.serve(sc, batches); err != nil {
 			fatal("serve: %v", err)
 		}
@@ -282,6 +294,7 @@ type runner struct {
 type serveConfig struct {
 	readers    int
 	queueDepth int
+	cacheBytes int64
 	metrics    *obs.Registry
 	logger     *slog.Logger
 }
@@ -345,7 +358,8 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 	logger := sc.logger
 	var applyCalls, appliedBatches atomic.Int64
 	opts := graphbolt.ServerOptions{
-		QueueDepth: sc.queueDepth,
+		QueueDepth:      sc.queueDepth,
+		QueryCacheBytes: sc.cacheBytes,
 		// Resuming an interrupted stream relies on journal seq == stream
 		// position (skip = d.Seq() above), so the durable path must
 		// journal exactly one record per stream batch.
@@ -387,6 +401,13 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 				}
 				s := srv.Snapshot()
 				queries.Add(1)
+				// Exercise the per-generation query cache with a point
+				// lookup on a rotating vertex: the first reader of each
+				// (generation, vertex) pair fills the entry, later ones
+				// hit (visible as graphbolt_qcache_* in /metrics).
+				if n := s.Graph.NumVertices(); n > 0 {
+					qcache.Value(srv.Cache(), s, graph.VertexID(int(queries.Load())%n))
+				}
 				stale := time.Since(s.PublishedAt).Nanoseconds()
 				for {
 					cur := maxStaleNanos.Load()
@@ -419,13 +440,18 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 	if err := srv.Close(ctx); err != nil {
 		return err
 	}
+	oldest, newest := srv.RetainedGenerations()
 	logger.Info("serve complete",
 		"batches", appliedBatches.Load(),
 		"apply_calls", applyCalls.Load(),
 		"generation", srv.Generation(),
 		"ingest_duration", ingest.Round(time.Microsecond),
 		"queries", queries.Load(),
-		"max_staleness", time.Duration(maxStaleNanos.Load()).Round(time.Microsecond))
+		"max_staleness", time.Duration(maxStaleNanos.Load()).Round(time.Microsecond),
+		"retained_oldest", oldest,
+		"retained_newest", newest,
+		"cache_entries", srv.Cache().Len(),
+		"cache_bytes", srv.Cache().Bytes())
 	return nil
 }
 

@@ -1,0 +1,119 @@
+package graphbolt_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	graphbolt "repro"
+)
+
+// These tests pin the documented read-path contracts so doc drift
+// becomes a test failure, not a surprise for integrators.
+
+// TestSnapshotNilBeforeRun: Engine.Snapshot (and Values) return nil
+// until the first Run/ApplyBatch/ReadSnapshot publishes — readers must
+// handle a nil snapshot during startup.
+func TestSnapshotNilBeforeRun(t *testing.T) {
+	g, err := graphbolt.BuildGraph(3, []graphbolt.Edge{{From: 0, To: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := eng.Snapshot(); snap != nil {
+		t.Fatalf("Snapshot before Run = %+v, want nil", snap)
+	}
+	if vals := eng.Values(); vals != nil {
+		t.Fatalf("Values before Run = %v, want nil", vals)
+	}
+	var nilSnap *graphbolt.ResultSnapshot[float64]
+	if got := nilSnap.CopyValues(); got != nil {
+		t.Fatalf("nil snapshot CopyValues = %v, want nil", got)
+	}
+	eng.Run()
+	if snap := eng.Snapshot(); snap == nil || snap.Generation != 1 {
+		t.Fatalf("Snapshot after Run = %+v, want generation 1", snap)
+	}
+}
+
+// TestWaitReturnsFirstAtLeast: Server.Wait(ctx, gen) resolves with the
+// first snapshot whose Generation is >= gen — NOT an exact match. A
+// reader that calls Wait(2) after the writer reached generation 5 gets
+// generation 5, and a reader waiting on a future generation gets
+// whatever generation first satisfies the bound.
+func TestWaitReturnsFirstAtLeast(t *testing.T) {
+	g, err := graphbolt.BuildGraph(4, []graphbolt.Edge{{From: 0, To: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(), graphbolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := graphbolt.NewServer(eng, graphbolt.ServerOptions{DisableCoalescing: true})
+	defer srv.Close(context.Background())
+	ctx := context.Background()
+
+	// Drive the server to generation 5 (initial run + 4 batches).
+	for i := 0; i < 4; i++ {
+		b := graphbolt.Batch{Add: []graphbolt.Edge{
+			{From: graphbolt.VertexID(i % 4), To: graphbolt.VertexID((i + 1) % 4), Weight: 1},
+		}}
+		if _, err := srv.SubmitWait(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gen := srv.Generation(); gen != 5 {
+		t.Fatalf("generation = %d, want 5", gen)
+	}
+
+	// Waiting on an already-passed generation returns the CURRENT
+	// snapshot (generation 5), not a historical generation-2 one.
+	snap, err := srv.Wait(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 5 {
+		t.Fatalf("Wait(2) returned generation %d, want 5 (first >= 2 observed)", snap.Generation)
+	}
+
+	// Waiting on a future generation blocks until some snapshot with
+	// Generation >= gen publishes, then returns it.
+	done := make(chan *graphbolt.ResultSnapshot[float64], 1)
+	go func() {
+		s, err := srv.Wait(ctx, 6)
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- s
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait(6) resolved before generation 6 was published")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := srv.SubmitWait(ctx, graphbolt.Batch{Add: []graphbolt.Edge{{From: 1, To: 3, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-done:
+		if s == nil || s.Generation < 6 {
+			t.Fatalf("Wait(6) returned %+v, want generation >= 6", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait(6) did not resolve after generation 6 published")
+	}
+
+	// A deadline while waiting on an unreachable generation surfaces
+	// the context error, not a fabricated snapshot.
+	short, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if _, err := srv.Wait(short, 99); err == nil {
+		t.Fatal("Wait on unreachable generation returned without error")
+	}
+}

@@ -43,6 +43,7 @@
 package graphbolt
 
 import (
+	"cmp"
 	"io"
 	"os"
 
@@ -52,6 +53,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/kickstarter"
+	"repro/internal/qcache"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -214,7 +216,54 @@ var (
 	// ErrInvalidEdge reports a rejected malformed edge (out-of-range
 	// endpoint, NaN or infinite weight).
 	ErrInvalidEdge = graph.ErrInvalidEdge
+	// ErrGenerationNotRetained reports a SnapshotAt/Diff generation
+	// outside the retained history window.
+	ErrGenerationNotRetained = core.ErrGenerationNotRetained
 )
+
+// SnapshotDiff reports the vertices whose values changed between two
+// retained generations, with before/after values and structural deltas.
+type SnapshotDiff[V any] = core.SnapshotDiff[V]
+
+// QueryCache is the per-generation cache memoizing derived reads
+// (top-k, per-vertex lookups, histograms) over immutable snapshots.
+// Obtain one from Server.Cache; nil is valid and computes uncached.
+type QueryCache = qcache.Cache
+
+// VertexValue pairs a vertex with its value in some snapshot, as
+// returned by TopK.
+type VertexValue[V any] = qcache.VertexValue[V]
+
+// Histogram is a fixed-bin distribution of a snapshot-derived quantity
+// (vertex values or out-degrees).
+type Histogram = qcache.Histogram
+
+// Re-exported derived-read helpers. Each memoizes its result in the
+// given QueryCache (nil computes uncached), keyed on the snapshot's
+// generation — snapshots are immutable, so hits never go stale.
+var (
+	// ValueHistogram bins a float64 snapshot's values into equal-width
+	// buckets between the observed finite extremes.
+	ValueHistogram = qcache.ValueHistogram
+)
+
+// TopK returns the k highest-valued vertices of the snapshot, ties
+// broken by ascending vertex id, memoized in c.
+func TopK[V cmp.Ordered](c *QueryCache, s *ResultSnapshot[V], k int) []VertexValue[V] {
+	return qcache.TopK(c, s, k)
+}
+
+// VertexValueAt returns one vertex's value in the snapshot (false when
+// the vertex is out of range), memoized in c.
+func VertexValueAt[V any](c *QueryCache, s *ResultSnapshot[V], v VertexID) (V, bool) {
+	return qcache.Value(c, s, v)
+}
+
+// DegreeHistogram bins the snapshot graph's out-degrees into log2
+// buckets, memoized in c.
+func DegreeHistogram[V any](c *QueryCache, s *ResultSnapshot[V]) *Histogram {
+	return qcache.DegreeHistogram(c, s)
+}
 
 // Stream re-exports mutation-stream construction.
 type Stream = stream.Stream

@@ -44,6 +44,10 @@ type Engine[V, A any] struct {
 	// writer refines the live state above.
 	snap atomic.Pointer[ResultSnapshot[V]]
 
+	// ring retains the last Options.Retain published snapshots for
+	// point-in-time reads (nil when retention is off).
+	ring *HistoryRing[V]
+
 	stats Stats         // cumulative
 	met   engineMetrics // zero value when instrumentation is off
 }
@@ -68,6 +72,9 @@ func NewEngine[V, A any](g *graph.Graph, p Program[V, A], opts Options) (*Engine
 	}
 	if d, ok := any(p).(DeltaProgram[V, A]); ok && opts.Mode != ModeGraphBoltRP {
 		e.delta = d
+	}
+	if opts.Retain > 1 {
+		e.ring = NewHistoryRing[V](opts.Retain)
 	}
 	reg := opts.Metrics
 	if reg == nil {

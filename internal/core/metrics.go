@@ -40,6 +40,7 @@ type engineMetrics struct {
 	trackedSnapshots *obs.Gauge
 	trackedBytes     *obs.Gauge
 	generation       *obs.Gauge
+	retained         *obs.Gauge
 
 	runDuration   *obs.Histogram
 	batchDuration *obs.Histogram
@@ -80,6 +81,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 			"Heap bytes held by the dependency store (Table 9's metric)."),
 		generation: r.Gauge("graphbolt_engine_snapshot_generation",
 			"Generation of the most recently published result snapshot."),
+		retained: r.Gauge("graphbolt_engine_retained_generations",
+			"Published generations currently addressable via SnapshotAt."),
 		runDuration: r.Histogram("graphbolt_engine_run_duration_seconds",
 			"Initial-computation latency.", obs.DefTimeBuckets),
 		batchDuration: r.Histogram("graphbolt_engine_batch_duration_seconds",
@@ -121,6 +124,11 @@ func (m *engineMetrics) observeBatch(st Stats) {
 // observeGeneration publishes the latest result-snapshot generation.
 func (m *engineMetrics) observeGeneration(gen uint64) {
 	m.generation.Set(float64(gen))
+}
+
+// observeRetained publishes how many generations the history ring holds.
+func (m *engineMetrics) observeRetained(n int64) {
+	m.retained.Set(float64(n))
 }
 
 // observeTracking refreshes the dependency-store gauges.

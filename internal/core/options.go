@@ -97,6 +97,15 @@ type Options struct {
 	// aggregate keeps changing. Costs memory, changes no results.
 	DisableVerticalPruning bool
 
+	// Retain keeps the last Retain published generations addressable via
+	// SnapshotAt for time-travel reads and cross-generation diffing.
+	// Snapshots are immutable, so retention costs only the held value
+	// copies (one O(V) slice per generation) and never synchronization.
+	// 0 or 1 means only the newest generation is reachable (no history
+	// ring). Not part of checkpointed state: retention is a serving
+	// concern, not an execution-semantics one.
+	Retain int
+
 	// Metrics, when non-nil, receives engine instrumentation (run/batch
 	// counters, refine-vs-hybrid edge computations, tracked-snapshot
 	// gauges, duration histograms). Nil falls back to the registry

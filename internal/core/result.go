@@ -89,5 +89,19 @@ func (e *Engine[V, A]) publish() {
 		PublishedAt: time.Now(),
 	}
 	e.snap.Store(s)
+	if e.ring != nil {
+		e.ring.Push(s)
+	}
 	e.met.observeGeneration(gen)
+	e.met.observeRetained(e.retainedCount(gen))
+}
+
+// retainedCount returns how many generations SnapshotAt can serve once
+// gen is the newest one.
+func (e *Engine[V, A]) retainedCount(gen uint64) int64 {
+	k := uint64(e.retain())
+	if gen < k {
+		return int64(gen)
+	}
+	return int64(k)
 }

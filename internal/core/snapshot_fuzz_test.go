@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// FuzzReadSnapshot feeds arbitrary bytes to the checkpoint parser.
+// ReadSnapshot must never panic, and on any error the engine must be
+// left exactly as it was — same published snapshot, same values — so a
+// corrupt checkpoint on disk can never poison a live engine.
+func FuzzReadSnapshot(f *testing.F) {
+	mkEngine := func() *core.Engine[float64, float64] {
+		g := graph.MustBuild(4, []graph.Edge{
+			{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 3, Weight: 2},
+		})
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(),
+			core.Options{MaxIterations: 4})
+		if err != nil {
+			f.Fatal(err)
+		}
+		eng.Run()
+		return eng
+	}
+
+	// Seed with a genuine checkpoint plus targeted corruptions of its
+	// header fields, so the fuzzer starts at the interesting boundaries
+	// (magic, version, CRC trailer, gob payload).
+	var buf bytes.Buffer
+	if err := mkEngine().WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                     // truncated trailer
+	f.Add(valid[:8])                                // header only
+	f.Add(append([]byte("XXSNAP01"), valid[8:]...)) // wrong magic
+	verFlip := append([]byte{}, valid...)
+	verFlip[9] ^= 0xff // version field
+	f.Add(verFlip)
+	bodyFlip := append([]byte{}, valid...)
+	bodyFlip[20] ^= 0x01 // gob payload bit: CRC must catch it
+	f.Add(bodyFlip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := mkEngine()
+		before := eng.Snapshot()
+		err := eng.ReadSnapshot(bytes.NewReader(data))
+		after := eng.Snapshot()
+		if err != nil {
+			if after != before {
+				t.Fatalf("failed ReadSnapshot still mutated the engine: snapshot %p -> %p", before, after)
+			}
+			return
+		}
+		// Accepted input must produce a coherent, newly published state.
+		if after == before {
+			t.Fatal("successful ReadSnapshot did not publish a new snapshot")
+		}
+		if after.Generation != before.Generation+1 {
+			t.Fatalf("generation %d after restore, want %d", after.Generation, before.Generation+1)
+		}
+		if len(after.Values) != after.Graph.NumVertices() {
+			t.Fatalf("%d values for %d vertices after restore", len(after.Values), after.Graph.NumVertices())
+		}
+	})
+}

@@ -39,6 +39,63 @@ func TestStatsAddCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestStatsAddTable pins the accumulation rule per field with explicit
+// cases: work counters and Duration sum; TrackedSnapshotBytes is a
+// gauge where the most recent non-zero observation wins.
+func TestStatsAddTable(t *testing.T) {
+	tests := []struct {
+		name string
+		acc  core.Stats
+		add  []core.Stats
+		want core.Stats
+	}{
+		{
+			name: "work fields and duration sum",
+			acc: core.Stats{
+				Iterations: 1, EdgeComputations: 10, VertexComputations: 100,
+				RefineIterations: 2, HybridIterations: 1, Duration: 1e9,
+			},
+			add: []core.Stats{{
+				Iterations: 2, EdgeComputations: 20, VertexComputations: 200,
+				RefineIterations: 3, HybridIterations: 2, Duration: 2e9,
+			}},
+			want: core.Stats{
+				Iterations: 3, EdgeComputations: 30, VertexComputations: 300,
+				RefineIterations: 5, HybridIterations: 3, Duration: 3e9,
+			},
+		},
+		{
+			name: "tracked bytes gauge takes the latest non-zero reading",
+			acc:  core.Stats{TrackedSnapshotBytes: 512},
+			add:  []core.Stats{{TrackedSnapshotBytes: 2048}, {TrackedSnapshotBytes: 1024}},
+			want: core.Stats{TrackedSnapshotBytes: 1024},
+		},
+		{
+			name: "zero gauge observation keeps the previous reading",
+			acc:  core.Stats{TrackedSnapshotBytes: 512},
+			add:  []core.Stats{{Iterations: 1}},
+			want: core.Stats{Iterations: 1, TrackedSnapshotBytes: 512},
+		},
+		{
+			name: "adding the zero value is a no-op",
+			acc:  core.Stats{Iterations: 4, EdgeComputations: 9, TrackedSnapshotBytes: 33, Duration: 7},
+			add:  []core.Stats{{}},
+			want: core.Stats{Iterations: 4, EdgeComputations: 9, TrackedSnapshotBytes: 33, Duration: 7},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.acc
+			for _, s := range tc.add {
+				got.Add(s)
+			}
+			if got != tc.want {
+				t.Errorf("accumulated %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestStatsAddGaugeSemantics(t *testing.T) {
 	var sum core.Stats
 	sum.Add(core.Stats{TrackedSnapshotBytes: 100})

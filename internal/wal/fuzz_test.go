@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// frame builds one wire-format record the way Append does.
+func frame(seq uint64, b graph.Batch) []byte {
+	body := binary.LittleEndian.AppendUint64(nil, seq)
+	body = appendBatch(body, b)
+	hdr := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	return append(hdr, body...)
+}
+
+// FuzzScan feeds arbitrary byte streams to the recovery scanner. Scan
+// must never panic, must only error on a bad file header, and the valid
+// prefix it reports must be stable: re-scanning exactly that prefix
+// yields the same records and the same length (the idempotence the
+// crash-recovery truncation step relies on).
+func FuzzScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fileMagic[:])
+	f.Add([]byte("GBWAL999junk"))
+	one := append(append([]byte{}, fileMagic[:]...), frame(1, graph.Batch{
+		Add: []graph.Edge{{From: 0, To: 1, Weight: 2.5}},
+	})...)
+	f.Add(one)
+	two := append(append([]byte{}, one...), frame(2, graph.Batch{
+		Del: []graph.Edge{{From: 3, To: 4, Weight: math.Inf(1)}},
+	})...)
+	f.Add(two)
+	f.Add(two[:len(two)-3]) // torn tail
+	corrupted := append([]byte{}, two...)
+	corrupted[len(fileMagic)+10] ^= 0xff // flip a body bit: CRC must catch it
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, valid, info, err := Scan(bytes.NewReader(data))
+		if err != nil {
+			return // only ErrNotWAL on arbitrary input; nothing else to check
+		}
+		if valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d exceeds input length %d", valid, len(data))
+		}
+		if len(records) != info.Records {
+			t.Fatalf("%d records returned but info.Records = %d", len(records), info.Records)
+		}
+		if len(data) > 0 && valid == 0 && len(records) > 0 {
+			t.Fatal("records recovered from a zero-length valid prefix")
+		}
+		again, validAgain, infoAgain, err := Scan(bytes.NewReader(data[:valid]))
+		if err != nil {
+			t.Fatalf("re-scanning the valid prefix failed: %v", err)
+		}
+		if validAgain != valid || infoAgain.Records != info.Records {
+			t.Fatalf("re-scan of valid prefix: %d bytes/%d records, first scan said %d/%d",
+				validAgain, infoAgain.Records, valid, info.Records)
+		}
+		for i := range again {
+			if !fuzzRecordEqual(again[i], records[i]) {
+				t.Fatalf("record %d differs on re-scan: %+v vs %+v", i, again[i], records[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch feeds arbitrary payloads to the batch decoder. It
+// must never panic or over-allocate, and any payload it accepts must
+// survive an encode/decode round trip bit-for-bit (NaN weights
+// included).
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendBatch(nil, graph.Batch{}))
+	f.Add(appendBatch(nil, graph.Batch{
+		Add: []graph.Edge{{From: 1, To: 2, Weight: 0.5}, {From: 2, To: 2, Weight: math.NaN()}},
+		Del: []graph.Edge{{From: 7, To: 0, Weight: -1}},
+	}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}) // huge uvarint count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeBatch(data)
+		if err != nil {
+			return
+		}
+		re := appendBatch(nil, b)
+		b2, err := decodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded batch failed: %v", err)
+		}
+		if !fuzzBatchEqual(b, b2) {
+			t.Fatalf("round trip changed the batch: %+v vs %+v", b, b2)
+		}
+	})
+}
+
+func fuzzRecordEqual(a, b Record) bool {
+	return a.Seq == b.Seq && fuzzBatchEqual(a.Batch, b.Batch)
+}
+
+func fuzzBatchEqual(a, b graph.Batch) bool {
+	return fuzzEdgesEqual(a.Add, b.Add) && fuzzEdgesEqual(a.Del, b.Del)
+}
+
+// fuzzEdgesEqual compares edge lists with NaN-safe weight comparison.
+func fuzzEdgesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To ||
+			math.Float64bits(a[i].Weight) != math.Float64bits(b[i].Weight) {
+			return false
+		}
+	}
+	return true
+}

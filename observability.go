@@ -7,6 +7,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/qcache"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -30,6 +31,11 @@ type TraceSink = obs.Sink
 // tracer (the Options default) is inert.
 var NewTracer = obs.NewTracer
 
+// NewMetricsRegistry builds an empty standalone registry, for callers
+// that want instrumentation scoped to one engine or server instead of
+// the process-wide registry EnableMetrics manages.
+var NewMetricsRegistry = obs.NewRegistry
+
 // EnableMetrics turns on process-wide instrumentation: every engine,
 // journal and parallel loop constructed afterwards reports into the
 // returned registry (engines built with an explicit Options.Metrics
@@ -43,6 +49,7 @@ func EnableMetrics() *MetricsRegistry {
 	durable.RegisterMetrics(reg)
 	serve.SetDefaultMetrics(reg)
 	serve.RegisterMetrics(reg)
+	qcache.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/qcache"
 	"repro/internal/serve"
 )
 
@@ -62,6 +63,13 @@ type ServerOptions struct {
 	// OnApply, when non-nil, is called from the apply goroutine after
 	// every apply call. Keep it fast; it runs on the write path.
 	OnApply func(Applied)
+	// QueryCacheBytes bounds the per-generation query cache memoizing
+	// derived reads (top-k, per-vertex lookups, histograms) against
+	// retained snapshots. 0 disables caching; queries still work, every
+	// read computes. Cached entries need no invalidation — snapshots are
+	// immutable — and are evicted by LRU within the budget and when
+	// their generation falls out of the engine's history ring.
+	QueryCacheBytes int64
 }
 
 // Server is the concurrent serving facade over an engine: a
@@ -76,10 +84,11 @@ type ServerOptions struct {
 // (journaled engine — the journal-before-mutate ordering is preserved
 // because journaling happens inside the single-writer apply loop).
 type Server[V, A any] struct {
-	eng  *core.Engine[V, A]
-	loop *serve.Loop
-	read serve.ReadMetrics
-	gen0 uint64 // snapshot generation when the loop started
+	eng   *core.Engine[V, A]
+	loop  *serve.Loop
+	read  serve.ReadMetrics
+	cache *qcache.Cache // nil when QueryCacheBytes == 0
+	gen0  uint64        // snapshot generation when the loop started
 
 	closeEng func() error // durable close, nil for in-memory
 
@@ -118,6 +127,7 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 		reg = serve.DefaultMetrics()
 	}
 	s.read = serve.NewReadMetrics(reg)
+	s.cache = qcache.New(opts.QueryCacheBytes, reg)
 	userCb := opts.OnApply
 	s.loop = serve.NewLoop(a, serve.Options{
 		QueueDepth:        opts.QueueDepth,
@@ -126,6 +136,11 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 		Policy:            opts.Policy,
 		Metrics:           reg,
 		OnApply: func(ap Applied) {
+			// Cache eviction follows ring retention: entries for
+			// generations SnapshotAt can no longer serve are dead weight.
+			if oldest, _ := eng.RetainedGenerations(); oldest > 0 {
+				s.cache.DropBelow(oldest)
+			}
 			s.mu.Lock()
 			close(s.watch)
 			s.watch = make(chan struct{})
@@ -185,10 +200,46 @@ func (s *Server[V, A]) Generation() uint64 {
 	return s.eng.Snapshot().Generation
 }
 
+// SnapshotAt returns the retained snapshot for exactly generation gen —
+// a point-in-time read. Like Snapshot it is lock-free and the result is
+// immutable; unlike Snapshot it fails (wrapping ErrGenerationNotRetained)
+// when gen has been evicted from the history ring, was never published,
+// or retention is off (EngineOptions.Retain <= 1 keeps only the newest
+// generation addressable). Retained(), via RetainedGenerations, reports
+// the currently addressable window.
+func (s *Server[V, A]) SnapshotAt(gen uint64) (*ResultSnapshot[V], error) {
+	return s.eng.SnapshotAt(gen)
+}
+
+// RetainedGenerations returns the inclusive [oldest, newest] generation
+// window currently addressable via SnapshotAt, or (0, 0) before the
+// first publication.
+func (s *Server[V, A]) RetainedGenerations() (oldest, newest uint64) {
+	return s.eng.RetainedGenerations()
+}
+
+// Diff compares two retained generations and reports the vertices whose
+// values changed between them, with before/after values and the vertex
+// and edge count deltas. Both generations must still be retained.
+func (s *Server[V, A]) Diff(from, to uint64) (*SnapshotDiff[V], error) {
+	return s.eng.DiffSnapshots(from, to)
+}
+
+// Cache returns the server's per-generation query cache for use with
+// the qcache helpers (TopK, Value, histograms). It is nil when
+// ServerOptions.QueryCacheBytes is 0 — a valid argument to every
+// helper; queries then compute uncached.
+func (s *Server[V, A]) Cache() *QueryCache { return s.cache }
+
 // Wait blocks until a snapshot with Generation >= gen is published,
-// then returns it. A nil ctx means no deadline. It fails with the
-// loop's terminal error if ingest failed, or ErrServerClosed if the
-// server closed before reaching gen.
+// then returns it — the FIRST such snapshot the reader observes, not
+// necessarily generation gen exactly: if the writer has already moved
+// past gen (or coalescing folded several submissions into one apply),
+// the returned snapshot's Generation may exceed gen. Callers that need
+// a specific historical generation should use SnapshotAt with retention
+// enabled. A nil ctx means no deadline. It fails with the loop's
+// terminal error if ingest failed, or ErrServerClosed if the server
+// closed before reaching gen.
 func (s *Server[V, A]) Wait(ctx context.Context, gen uint64) (*ResultSnapshot[V], error) {
 	if ctx == nil {
 		ctx = context.Background()
