@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 COVER_FLOOR_core  = 70
 COVER_FLOOR_serve = 70
 
-.PHONY: build test check check-race race vet fmt bench fuzz cover
+.PHONY: build test check check-race race vet fmt bench fuzz cover chaos
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,15 @@ check: fmt vet build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# chaos runs the self-healing soak under the race detector: hundreds of
+# randomized batches through a durable server while fsync failures, torn
+# writes and scripted poison batches fire underneath, asserting the
+# server ends Healthy, quarantines exactly the poisons, and matches a
+# from-scratch run on the surviving stream. CHAOS_FLAGS=-short shrinks
+# the stream for CI.
+chaos:
+	$(GO) test -race -run TestChaosSoak -v $(CHAOS_FLAGS) .
 
 # fuzz runs every fuzz target for FUZZTIME each (Go only allows one
 # -fuzz pattern per invocation). The seed corpora alone run in `make

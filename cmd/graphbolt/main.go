@@ -16,9 +16,11 @@
 // pre-crash state and continues the stream from there.
 //
 // With -metrics-addr, an HTTP server exposes /metrics (Prometheus text),
-// /metrics.json, /debug/vars (expvar) and /debug/pprof/* while the
+// /metrics.json, /healthz (JSON health: 200 while healthy or degraded,
+// 503 once failed), /debug/vars (expvar) and /debug/pprof/* while the
 // stream runs, and every layer (engine, journal, checkpoints, parallel
-// loops) reports into the process-wide registry.
+// loops) reports into the process-wide registry. In -serve mode,
+// -apply-deadline arms a watchdog that flags applies exceeding it.
 //
 // With -serve, the stream is ingested through the concurrent serving
 // facade instead of the synchronous loop: batches flow through a
@@ -59,6 +61,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/graph"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/qcache"
@@ -89,6 +92,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default)")
 		retain     = flag.Int("retain", 1, "published generations kept addressable for point-in-time reads (SnapshotAt)")
 		queryCache = flag.Int64("query-cache", 0, "per-generation query cache budget in bytes for -serve mode (0 = off)")
+		applyDl    = flag.Duration("apply-deadline", 0, "watchdog deadline per apply call in -serve mode (0 = off); exceeding it logs and raises graphbolt_serve_stuck_applies")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -99,6 +103,11 @@ func main() {
 		fatal("need -graph")
 	}
 
+	// The metrics mux starts before the serving facade exists, so
+	// /healthz reads the tracker through an atomic proxy that -serve
+	// mode fills in once the server is constructed. Until then (and in
+	// non-serve mode) the nil tracker reports healthy.
+	var healthProxy atomic.Pointer[health.Tracker]
 	var reg *obs.Registry
 	if *metricsAt != "" {
 		reg = obs.Default()
@@ -109,15 +118,21 @@ func main() {
 		serve.SetDefaultMetrics(reg)
 		serve.RegisterMetrics(reg)
 		qcache.RegisterMetrics(reg)
+		health.RegisterMetrics(reg)
 		parallel.SetMetrics(reg)
 		ln, err := net.Listen("tcp", *metricsAt)
 		if err != nil {
 			fatal("metrics listener: %v", err)
 		}
 		logger.Info("metrics", "addr", ln.Addr().String(),
-			"endpoints", "/metrics /metrics.json /debug/vars /debug/pprof/")
+			"endpoints", "/metrics /metrics.json /healthz /debug/vars /debug/pprof/")
+		mux := obs.HandlerWith(reg, map[string]http.Handler{
+			"/healthz": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				health.Handler(healthProxy.Load()).ServeHTTP(w, r)
+			}),
+		})
 		go func() {
-			if err := http.Serve(ln, obs.Handler(reg)); err != nil {
+			if err := http.Serve(ln, mux); err != nil {
 				logger.Error("metrics server", "err", err)
 			}
 		}()
@@ -205,7 +220,15 @@ func main() {
 		// The server owns the single-writer apply loop and (for -wal-dir)
 		// the journal: Close drains the queue and closes the journal, so
 		// run.close is not called on this path.
-		sc := serveConfig{readers: *readers, queueDepth: *queueDepth, cacheBytes: *queryCache, metrics: reg, logger: logger}
+		sc := serveConfig{
+			readers:       *readers,
+			queueDepth:    *queueDepth,
+			cacheBytes:    *queryCache,
+			applyDeadline: *applyDl,
+			metrics:       reg,
+			logger:        logger,
+			health:        &healthProxy,
+		}
 		if err := run.serve(sc, batches); err != nil {
 			fatal("serve: %v", err)
 		}
@@ -290,13 +313,16 @@ type runner struct {
 	validate func() (worst float64)
 }
 
-// serveConfig carries the -serve flag family.
+// serveConfig carries the -serve flag family. health, when non-nil, is
+// the /healthz proxy the server's tracker is published through.
 type serveConfig struct {
-	readers    int
-	queueDepth int
-	cacheBytes int64
-	metrics    *obs.Registry
-	logger     *slog.Logger
+	readers       int
+	queueDepth    int
+	cacheBytes    int64
+	applyDeadline time.Duration
+	metrics       *obs.Registry
+	logger        *slog.Logger
+	health        *atomic.Pointer[health.Tracker]
 }
 
 // durableConfig carries the -wal-dir flag family plus the process-wide
@@ -360,6 +386,8 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 	opts := graphbolt.ServerOptions{
 		QueueDepth:      sc.queueDepth,
 		QueryCacheBytes: sc.cacheBytes,
+		ApplyDeadline:   sc.applyDeadline,
+		Logger:          logger,
 		// Resuming an interrupted stream relies on journal seq == stream
 		// position (skip = d.Seq() above), so the durable path must
 		// journal exactly one record per stream batch.
@@ -381,6 +409,12 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 		srv = graphbolt.NewDurableServer(d, opts)
 	} else {
 		srv = graphbolt.NewServer(eng, opts)
+	}
+	srv.Health().OnTransition(func(from, to health.State, cause error) {
+		logger.Warn("health transition", "from", from.String(), "to", to.String(), "cause", cause)
+	})
+	if sc.health != nil {
+		sc.health.Store(srv.Health())
 	}
 
 	var (

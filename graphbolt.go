@@ -216,6 +216,11 @@ var (
 	// ErrInvalidEdge reports a rejected malformed edge (out-of-range
 	// endpoint, NaN or infinite weight).
 	ErrInvalidEdge = graph.ErrInvalidEdge
+	// ErrInvalidBatch tags every batch validation failure — the error
+	// names the offending edge's index and endpoints. A server
+	// quarantines such batches (see Server.Quarantined) rather than
+	// failing; the submitter's ticket carries this sentinel.
+	ErrInvalidBatch = graph.ErrInvalidBatch
 	// ErrGenerationNotRetained reports a SnapshotAt/Diff generation
 	// outside the retained history window.
 	ErrGenerationNotRetained = core.ErrGenerationNotRetained

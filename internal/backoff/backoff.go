@@ -1,0 +1,82 @@
+// Package backoff computes retry delays for self-healing supervisors:
+// capped exponential growth with multiplicative jitter. The serve
+// layer's degraded-mode recovery uses it to pace journal repair
+// attempts — quick first retries for transient hiccups (a single failed
+// fsync), widening toward the cap while a fault persists, with jitter
+// so a fleet of recovering instances does not hammer shared storage in
+// lockstep.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Defaults used for zero-valued Policy fields. The base is small
+// because the common fault is transient (one failed fsync, a full page
+// cache); the cap keeps a persistent fault from pushing retries so far
+// apart that recovery looks like an outage.
+const (
+	DefaultBase   = 20 * time.Millisecond
+	DefaultMax    = 5 * time.Second
+	DefaultFactor = 2.0
+	DefaultJitter = 0.2
+)
+
+// Policy computes capped exponential backoff delays. The zero value is
+// usable and applies the package defaults.
+type Policy struct {
+	// Base is the delay for attempt 0. Default DefaultBase.
+	Base time.Duration
+	// Max caps the grown (pre-jitter) delay. Default DefaultMax.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier. Default DefaultFactor.
+	Factor float64
+	// Jitter is the fraction of the delay randomized: the result is
+	// drawn uniformly from [d·(1-Jitter), d·(1+Jitter)], clamped to Max.
+	// 0 applies DefaultJitter; negative disables jitter entirely.
+	Jitter float64
+	// Source yields uniform values in [0,1) for jitter. Nil uses the
+	// shared math/rand source; tests inject a deterministic one.
+	Source func() float64
+}
+
+// Delay returns the delay before retry number attempt (0-based).
+// Negative attempts are treated as 0.
+func (p Policy) Delay(attempt int) time.Duration {
+	base, max, factor := p.Base, p.Max, p.Factor
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if factor < 1 {
+		factor = DefaultFactor
+	}
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = DefaultJitter
+	}
+	if jitter > 0 {
+		src := p.Source
+		if src == nil {
+			src = rand.Float64
+		}
+		d *= 1 + jitter*(2*src()-1)
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

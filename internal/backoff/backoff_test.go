@@ -1,0 +1,75 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// fixed returns a Source pinned at u, making jitter deterministic:
+// u=0.5 is exactly no jitter, u=0 the low edge, u→1 the high edge.
+func fixed(u float64) func() float64 { return func() float64 { return u } }
+
+func TestDelayGrowsExponentiallyToCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Source: fixed(0.5)}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Delay(i); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	lo := Policy{Base: p.Base, Max: p.Max, Jitter: p.Jitter, Source: fixed(0)}
+	hi := Policy{Base: p.Base, Max: p.Max, Jitter: p.Jitter, Source: fixed(0.999999)}
+	if got := lo.Delay(0); got != 50*time.Millisecond {
+		t.Fatalf("low-edge Delay(0) = %v, want 50ms", got)
+	}
+	if got := hi.Delay(0); got < 149*time.Millisecond || got > 150*time.Millisecond {
+		t.Fatalf("high-edge Delay(0) = %v, want ~150ms", got)
+	}
+	// Random-source delays stay inside [d·(1-J), d·(1+J)].
+	for i := 0; i < 200; i++ {
+		got := p.Delay(0)
+		if got < 50*time.Millisecond || got > 150*time.Millisecond {
+			t.Fatalf("jittered Delay(0) = %v outside [50ms, 150ms]", got)
+		}
+	}
+}
+
+func TestDelayJitterNeverExceedsMax(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Second, Jitter: 0.5, Source: fixed(0.999999)}
+	if got := p.Delay(10); got > time.Second {
+		t.Fatalf("Delay(10) = %v exceeds Max", got)
+	}
+}
+
+func TestZeroValuePolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	d0 := Policy{Source: fixed(0.5)}.Delay(0)
+	if d0 != DefaultBase {
+		t.Fatalf("zero-policy Delay(0) = %v, want DefaultBase %v", d0, DefaultBase)
+	}
+	if got := (Policy{Source: fixed(0.5)}).Delay(1000); got != DefaultMax {
+		t.Fatalf("zero-policy Delay(1000) = %v, want DefaultMax %v", got, DefaultMax)
+	}
+	// The shared-source path must not panic and must stay in bounds.
+	if got := p.Delay(3); got <= 0 || got > DefaultMax {
+		t.Fatalf("Delay(3) = %v out of (0, DefaultMax]", got)
+	}
+}
+
+func TestNegativeJitterDisables(t *testing.T) {
+	p := Policy{Base: 30 * time.Millisecond, Jitter: -1, Source: fixed(0.999)}
+	if got := p.Delay(0); got != 30*time.Millisecond {
+		t.Fatalf("Delay(0) with Jitter=-1 = %v, want exactly 30ms", got)
+	}
+}
+
+func TestNegativeAttemptTreatedAsZero(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Jitter: -1}
+	if got := p.Delay(-5); got != 10*time.Millisecond {
+		t.Fatalf("Delay(-5) = %v, want Base", got)
+	}
+}

@@ -107,6 +107,13 @@ type Engine[V, A any] struct {
 	since   int    // batches applied since that checkpoint
 	info    RecoveryInfo
 	met     durableMetrics
+
+	// ailment is the storage fault keeping the engine from accepting
+	// writes (journal damage, failed checkpoint). While set, ApplyBatch
+	// fails fast; Recover repairs and clears it. In-memory state stays
+	// valid throughout — reads keep working.
+	ailment error
+	closed  bool
 }
 
 // Open wraps eng with durability backed by dir, recovering any state a
@@ -236,17 +243,30 @@ func (d *Engine[V, A]) Graph() *graph.Graph { return d.eng.Graph() }
 // the journal entry is rolled back so recovery never replays a batch
 // the engine could not process, and the engine itself must be discarded
 // and reopened (Open rebuilds it from the checkpoint and journal).
+// While an ailment is set (see Ailment), ApplyBatch fails fast without
+// touching the journal or the engine; one special case is a checkpoint
+// that fails after its batch applied cleanly — the batch is journaled
+// and applied, so ApplyBatch reports success and the checkpoint fault
+// surfaces through Ailment instead (a retry would otherwise apply the
+// batch twice).
 func (d *Engine[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
+	if d.ailment != nil {
+		return core.Stats{}, fmt.Errorf("durable: journal degraded: %w", d.ailment)
+	}
 	if err := b.Validate(); err != nil {
 		return core.Stats{}, fmt.Errorf("durable: %w", err)
 	}
 	seq := d.seq + 1
 	if err := d.w.Append(seq, b); err != nil {
+		d.ailment = err
 		return core.Stats{}, err
 	}
 	st, err := d.eng.ApplyBatch(b)
 	if err != nil {
 		if uerr := d.w.Unappend(); uerr != nil {
+			// Journal now holds a record the engine rejected; writes stay
+			// off until Recover truncates it.
+			d.ailment = uerr
 			return core.Stats{}, errors.Join(err, uerr)
 		}
 		return core.Stats{}, err
@@ -254,11 +274,40 @@ func (d *Engine[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
 	d.seq = seq
 	d.since++
 	if d.opts.CheckpointEvery > 0 && d.since >= d.opts.CheckpointEvery {
-		if err := d.Checkpoint(); err != nil {
-			return st, err
-		}
+		// A checkpoint failure here surfaces through Ailment, not the
+		// return value: the batch is journaled and applied, and an error
+		// would make the caller retry — applying it twice.
+		_ = d.Checkpoint()
 	}
 	return st, nil
+}
+
+// Ailment returns the storage fault currently blocking writes, nil when
+// the engine is fully operational. Reads (Values, Snapshot, Graph) are
+// unaffected by an ailment.
+func (d *Engine[V, A]) Ailment() error { return d.ailment }
+
+// Recover attempts to clear the current ailment: it repairs the journal
+// (truncating any inconsistent tail back to the last acknowledged
+// record) and retries an overdue checkpoint. On success the ailment is
+// cleared and ApplyBatch accepts writes again; on failure the ailment
+// reflects the latest error and Recover can be retried. Must be
+// serialized with ApplyBatch like every other write-side call.
+func (d *Engine[V, A]) Recover() error {
+	if d.ailment == nil {
+		return nil
+	}
+	if err := d.w.Repair(); err != nil {
+		d.ailment = err
+		return err
+	}
+	d.ailment = nil
+	if d.opts.CheckpointEvery > 0 && d.since >= d.opts.CheckpointEvery {
+		if err := d.Checkpoint(); err != nil {
+			return err // Checkpoint re-set the ailment
+		}
+	}
+	return nil
 }
 
 // Checkpoint writes the engine state to disk atomically and truncates
@@ -271,6 +320,7 @@ func (d *Engine[V, A]) Checkpoint() error {
 		start = time.Now()
 	}
 	if err := d.writeCheckpoint(); err != nil {
+		d.ailment = err
 		return err
 	}
 	// The checkpoint is durable; the log records it covers are now
@@ -279,8 +329,10 @@ func (d *Engine[V, A]) Checkpoint() error {
 	d.snapSeq = d.seq
 	d.since = 0
 	if err := d.w.Reset(); err != nil {
+		d.ailment = err
 		return err
 	}
+	d.ailment = nil
 	if d.met.checkpointDuration != nil {
 		d.met.checkpointDuration.Observe(time.Since(start).Seconds())
 	}
@@ -338,7 +390,13 @@ func syncDir(dir string) error {
 }
 
 // Close syncs and closes the journal. It does not checkpoint; call
-// Checkpoint first to make the next Open cheap.
+// Checkpoint first to make the next Open cheap. Close is idempotent:
+// a second call is a no-op returning nil, so shutdown paths can close
+// defensively without tracking who closed first.
 func (d *Engine[V, A]) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
 	return d.w.Close()
 }

@@ -9,9 +9,11 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
+	"repro/internal/faultio"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 func valuesMatch(t *testing.T, got, want []float64, eps float64, label string) {
@@ -327,5 +329,150 @@ func TestOpenRejectsRanEngine(t *testing.T) {
 	e.Run()
 	if _, err := Open(e, t.TempDir(), Options{}); err == nil {
 		t.Fatal("Open accepted an engine that already ran")
+	}
+}
+
+// TestAilmentRecoverEquivalence drives the degraded-write protocol: a
+// persistent fsync fault sets an ailment, writes fail fast while it
+// lasts, Recover clears it once the fault lifts, and the final state —
+// in memory and after a reopen from disk — matches a run that never saw
+// the fault.
+func TestAilmentRecoverEquivalence(t *testing.T) {
+	base, batches := testStream(t)
+	fsync := faultio.NewFsync()
+	dir := t.TempDir()
+	d, err := Open(prEngine(t, base), dir, Options{
+		WAL: wal.Options{Hooks: wal.Hooks{BeforeSync: fsync.Check}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	fsync.FailEveryKth(1, nil) // every fsync fails until disarmed
+	if _, err := d.ApplyBatch(batches[1]); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("apply under fsync fault: %v", err)
+	}
+	if d.Ailment() == nil {
+		t.Fatal("fsync fault left no ailment")
+	}
+	// Ailing engine fails fast without touching the journal.
+	size := d.w.Size()
+	if _, err := d.ApplyBatch(batches[1]); err == nil {
+		t.Fatal("apply on ailing engine succeeded")
+	}
+	if d.w.Size() != size {
+		t.Fatal("fail-fast apply reached the journal")
+	}
+	if d.Seq() != 1 {
+		t.Fatalf("seq = %d after rejected batch, want 1", d.Seq())
+	}
+	// Reads keep working while writes are off.
+	if d.Values() == nil || d.Snapshot() == nil {
+		t.Fatal("reads unavailable while degraded")
+	}
+	// Recover under the persistent fault fails and keeps the ailment.
+	if err := d.Recover(); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("Recover under persistent fault: %v", err)
+	}
+	if d.Ailment() == nil {
+		t.Fatal("failed Recover cleared the ailment")
+	}
+
+	fsync.FailEveryKth(0, nil)
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ailment() != nil {
+		t.Fatalf("ailment after successful Recover: %v", d.Ailment())
+	}
+	for _, b := range batches[1:] {
+		if _, err := d.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Seq() != uint64(len(batches)) {
+		t.Fatalf("seq = %d, want %d", d.Seq(), len(batches))
+	}
+
+	want := prEngine(t, base)
+	want.Run()
+	for _, b := range batches {
+		if _, err := want.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valuesMatch(t, d.Values(), want.Values(), 1e-9, "degraded-episode equivalence")
+
+	// The journal must also be clean: a reopen replays to the same state.
+	d.Close()
+	re, err := Open(prEngine(t, base), dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Seq() != uint64(len(batches)) {
+		t.Fatalf("reopened seq = %d, want %d", re.Seq(), len(batches))
+	}
+	valuesMatch(t, re.Values(), want.Values(), 1e-9, "reopen equivalence")
+}
+
+// TestCheckpointFailureReportedOutOfBand pins the no-double-apply rule:
+// when the batch applies cleanly but the checkpoint that follows fails,
+// ApplyBatch reports success (retrying would apply the batch twice) and
+// the fault surfaces through Ailment.
+func TestCheckpointFailureReportedOutOfBand(t *testing.T) {
+	base, batches := testStream(t)
+	fsync := faultio.NewFsync()
+	d, err := Open(prEngine(t, base), t.TempDir(), Options{
+		CheckpointEvery: 1,
+		WAL:             wal.Options{Hooks: wal.Hooks{BeforeSync: fsync.Check}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Per batch: sync #1 is the append, sync #2 the post-checkpoint log
+	// reset. Failing every 2nd sync hits exactly the checkpoint's reset.
+	fsync.FailEveryKth(2, nil)
+	if _, err := d.ApplyBatch(batches[0]); err != nil {
+		t.Fatalf("apply with failing checkpoint returned %v, want nil (out-of-band)", err)
+	}
+	if d.Seq() != 1 {
+		t.Fatalf("seq = %d, want 1 (batch applied)", d.Seq())
+	}
+	if d.Ailment() == nil {
+		t.Fatal("checkpoint failure left no ailment")
+	}
+	if _, err := d.ApplyBatch(batches[1]); err == nil {
+		t.Fatal("apply on ailing engine succeeded")
+	}
+
+	fsync.FailEveryKth(0, nil)
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(batches[1]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", d.Seq())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	base, _ := testStream(t)
+	d, err := Open(prEngine(t, base), t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
 	}
 }

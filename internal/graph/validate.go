@@ -18,6 +18,15 @@ const MaxVertexID VertexID = 1<<31 - 1
 // Batch.Validate and Build, so callers can branch with errors.Is.
 var ErrInvalidEdge = errors.New("graph: invalid edge")
 
+// ErrInvalidBatch tags every Batch.Validate failure. It classifies the
+// failure domain: an error wrapping ErrInvalidBatch condemns the batch
+// itself (malformed input a retry cannot fix — quarantine it), as
+// opposed to infrastructure errors (journal, disk) where the batch is
+// fine and the operation can be retried once the fault clears. Every
+// ErrInvalidBatch error also wraps ErrInvalidEdge and names the
+// offending mutation's index and endpoints.
+var ErrInvalidBatch = errors.New("graph: invalid batch")
+
 // ValidateEdge checks a single edge for use as an addition: endpoints
 // within [0, MaxVertexID] and a finite weight. NaN and ±Inf weights are
 // rejected because they poison every aggregate they touch (NaN never
@@ -40,17 +49,19 @@ func ValidateEdge(e Edge) error {
 // edges (ValidateEdge); deletion requests need only in-range endpoints —
 // their weights are ignored, and deletes that match no edge are already
 // reported as MissingDeletes by Apply rather than treated as errors.
-// A zero batch is valid (an explicit no-op tick).
+// A zero batch is valid (an explicit no-op tick). Failures wrap both
+// ErrInvalidBatch (the failure-domain classifier) and ErrInvalidEdge,
+// and name the offending mutation's index and endpoints.
 func (b Batch) Validate() error {
 	for i, e := range b.Add {
 		if err := ValidateEdge(e); err != nil {
-			return fmt.Errorf("add[%d]: %w", i, err)
+			return fmt.Errorf("%w: add[%d] (%d->%d): %w", ErrInvalidBatch, i, e.From, e.To, err)
 		}
 	}
 	for i, e := range b.Del {
 		if e.From > MaxVertexID || e.To > MaxVertexID {
-			return fmt.Errorf("del[%d]: %w: (%d,%d) endpoint exceeds MaxVertexID %d",
-				i, ErrInvalidEdge, e.From, e.To, MaxVertexID)
+			return fmt.Errorf("%w: del[%d] (%d->%d): %w: endpoint exceeds MaxVertexID %d",
+				ErrInvalidBatch, i, e.From, e.To, ErrInvalidEdge, MaxVertexID)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -68,7 +69,44 @@ func TestBatchValidate(t *testing.T) {
 				if !errors.Is(err, ErrInvalidEdge) {
 					t.Fatalf("Validate() = %v, want errors.Is(..., ErrInvalidEdge)", err)
 				}
+				if !errors.Is(err, ErrInvalidBatch) {
+					t.Fatalf("Validate() = %v, want errors.Is(..., ErrInvalidBatch)", err)
+				}
 			}
 		})
+	}
+}
+
+// TestBatchValidateNamesOffender pins the error text contract: serve
+// layers surface these errors on tickets and quarantine records, so the
+// message must identify which mutation was rejected and why.
+func TestBatchValidateNamesOffender(t *testing.T) {
+	b := Batch{Add: []Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 7, To: 9, Weight: math.NaN()},
+	}}
+	err := b.Validate()
+	if err == nil {
+		t.Fatal("Validate() = nil, want error")
+	}
+	for _, want := range []string{"add[1]", "(7->9)", "NaN"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Validate() = %q, missing %q", err, want)
+		}
+	}
+	b = Batch{Del: []Edge{{From: MaxVertexID + 1, To: 3}}}
+	err = b.Validate()
+	if err == nil {
+		t.Fatal("Validate() = nil, want error")
+	}
+	for _, want := range []string{"del[0]", "MaxVertexID"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Validate() = %q, missing %q", err, want)
+		}
+	}
+	// ErrInvalidBatch is reserved for batch validation: single-edge
+	// validation does not carry it.
+	if err := ValidateEdge(Edge{From: 0, To: 1, Weight: math.Inf(1)}); errors.Is(err, ErrInvalidBatch) {
+		t.Fatalf("ValidateEdge() = %v wraps ErrInvalidBatch, want only ErrInvalidEdge", err)
 	}
 }

@@ -24,10 +24,20 @@ var expvarOnce sync.Once
 //
 //	go http.ListenAndServe(addr, obs.Handler(obs.Default()))
 func Handler(r *Registry) http.Handler {
+	return HandlerWith(r, nil)
+}
+
+// HandlerWith is Handler plus extra routes: each pattern in extra is
+// mounted on the same mux (e.g. "/healthz" → the health endpoint).
+// Extra routes must not collide with the built-in ones.
+func HandlerWith(r *Registry, extra map[string]http.Handler) http.Handler {
 	expvarOnce.Do(func() {
 		expvar.Publish("graphbolt", expvar.Func(func() any { return r.Snapshot() }))
 	})
 	mux := http.NewServeMux()
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)

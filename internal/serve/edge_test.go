@@ -258,8 +258,10 @@ func TestTerminalFailureTicketOrdering(t *testing.T) {
 	if got := s.batches(); len(got) != 2 {
 		t.Fatalf("%d batches reached the applier, want 2", len(got))
 	}
-	if l.Seq() != 2 {
-		t.Fatalf("Seq() = %d after terminal failure, want 2", l.Seq())
+	// Seq counts successful applies only; the failed attempt reported
+	// attempt number 2 on its ticket without consuming it.
+	if l.Seq() != 1 {
+		t.Fatalf("Seq() = %d after terminal failure, want 1", l.Seq())
 	}
 	if err := l.Close(nil); err == nil {
 		t.Fatal("Close returned nil after terminal failure")

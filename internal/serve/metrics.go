@@ -29,13 +29,20 @@ func DefaultMetrics() *obs.Registry {
 // (nil handles) is the instrumentation-off state: every handle method
 // no-ops on nil, so call sites stay unconditional.
 type loopMetrics struct {
-	depth       *obs.Gauge
-	submitted   *obs.Counter
-	applied     *obs.Counter
-	rejected    *obs.Counter
-	coalesced   *obs.Counter
-	applyErrors *obs.Counter
-	queueWait   *obs.Histogram
+	depth            *obs.Gauge
+	submitted        *obs.Counter
+	applied          *obs.Counter
+	rejected         *obs.Counter
+	coalesced        *obs.Counter
+	applyErrors      *obs.Counter
+	queueWait        *obs.Histogram
+	quarantined      *obs.Counter
+	quarantineSize   *obs.Gauge
+	recoveryAttempts *obs.Counter
+	recoveries       *obs.Counter
+	recoveryBackoff  *obs.Histogram
+	stuckApplies     *obs.Gauge
+	watchdogStalls   *obs.Counter
 }
 
 // newLoopMetrics registers (or re-resolves) the ingest metric set in r;
@@ -59,6 +66,20 @@ func newLoopMetrics(r *obs.Registry) loopMetrics {
 			"Apply calls that failed (terminal for the loop)."),
 		queueWait: r.Histogram("graphbolt_serve_queue_wait_seconds",
 			"Time batches spent queued before their apply call started.", obs.DefTimeBuckets),
+		quarantined: r.Counter("graphbolt_serve_quarantined_batches_total",
+			"Poison batches rejected at dequeue and quarantined."),
+		quarantineSize: r.Gauge("graphbolt_serve_quarantine_size",
+			"Poison batches currently retained in the quarantine ring."),
+		recoveryAttempts: r.Counter("graphbolt_serve_recovery_attempts_total",
+			"Recover calls made while in degraded mode."),
+		recoveries: r.Counter("graphbolt_serve_recoveries_total",
+			"Degraded episodes that ended in successful recovery."),
+		recoveryBackoff: r.Histogram("graphbolt_serve_recovery_backoff_seconds",
+			"Backoff delays slept between recovery attempts.", obs.DefTimeBuckets),
+		stuckApplies: r.Gauge("graphbolt_serve_stuck_applies",
+			"1 while an apply call has exceeded its watchdog deadline."),
+		watchdogStalls: r.Counter("graphbolt_serve_watchdog_stalls_total",
+			"Apply calls that exceeded the watchdog deadline."),
 	}
 }
 

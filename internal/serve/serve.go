@@ -20,24 +20,67 @@
 // pre-batch edges, so folding such a pair into one batch would change
 // which edge instance dies. Incompatible batches simply end the run and
 // are applied in a later call; batches are never split or reordered.
+//
+// # Failure domains
+//
+// The loop classifies apply failures into three domains rather than
+// latching on the first error:
+//
+//   - Poison batches (graph.ErrInvalidBatch): the batch itself is
+//     malformed. It is rejected on its ticket, recorded in a bounded
+//     quarantine ring (Quarantined), and the loop moves on — one bad
+//     producer cannot take down ingest. Validation runs at dequeue, so
+//     a poison batch never reaches the engine.
+//
+//   - Infrastructure faults (the applier implements Recoverer and
+//     reports an Ailment): the engine's in-memory state is intact but
+//     its storage is refusing writes. The loop enters degraded mode —
+//     Submit fails fast with ErrDegraded while reads keep serving —
+//     holds the in-flight batch, and retries Recover under capped
+//     exponential backoff until the fault clears, then replays the held
+//     batch and the queue and returns to healthy.
+//
+//   - Everything else — a mid-apply panic (parallel.PanicError) leaves
+//     the engine state undefined — is terminal: the loop latches the
+//     failure (Err), fails all queued tickets, and refuses further
+//     submissions. A durable engine can be reopened from its checkpoint
+//     and journal.
+//
+// Health transitions are published through an optional health.Tracker,
+// and an optional watchdog flags apply calls that exceed a deadline.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Applier is the single-writer mutation target: core.Engine and
 // durable.Engine both satisfy it.
 type Applier interface {
 	ApplyBatch(graph.Batch) (core.Stats, error)
+}
+
+// Recoverer is the optional self-healing contract an Applier may
+// implement (durable.Engine does). Ailment reports the storage fault
+// currently blocking writes (nil when healthy); Recover attempts to
+// clear it. Both are called only from the apply goroutine, preserving
+// the single-writer invariant.
+type Recoverer interface {
+	Ailment() error
+	Recover() error
 }
 
 // Policy selects what Submit does when the queue is full.
@@ -53,10 +96,12 @@ const (
 
 // Default sizing. DefaultQueueDepth bounds memory under producer bursts;
 // DefaultMaxBatchEdges caps how large a coalesced batch may grow (larger
-// merges amortize refinement better but raise per-apply latency).
+// merges amortize refinement better but raise per-apply latency);
+// DefaultQuarantineDepth bounds the poison-batch ring.
 const (
-	DefaultQueueDepth    = 64
-	DefaultMaxBatchEdges = 4096
+	DefaultQueueDepth      = 64
+	DefaultMaxBatchEdges   = 4096
+	DefaultQuarantineDepth = 32
 )
 
 // Typed failure sentinels, for errors.Is.
@@ -65,6 +110,10 @@ var (
 	ErrQueueFull = errors.New("serve: mutation queue full")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("serve: apply loop closed")
+	// ErrDegraded reports a write refused while the engine's storage is
+	// being repaired. Reads stay available; the submission can be
+	// retried once recovery completes.
+	ErrDegraded = errors.New("serve: engine degraded, writes disabled")
 )
 
 // Options configures a Loop.
@@ -85,6 +134,35 @@ type Options struct {
 	// Policy selects Block (default) or Reject behavior on a full queue.
 	Policy Policy
 
+	// QuarantineDepth bounds the ring of retained poison batches; the
+	// oldest record is evicted when it overflows. Default
+	// DefaultQuarantineDepth.
+	QuarantineDepth int
+
+	// Backoff paces Recover retries in degraded mode. The zero value
+	// applies the backoff package defaults.
+	Backoff backoff.Policy
+
+	// ApplyDeadline, when positive, arms a watchdog on every apply call:
+	// exceeding it raises the stuck-applies gauge, logs a warning, and
+	// invokes OnStuck. The apply is not interrupted — the engine has no
+	// cancellation points — so this is a flag, not a kill switch.
+	ApplyDeadline time.Duration
+
+	// OnStuck, when non-nil, is called (from a timer goroutine) when an
+	// apply exceeds ApplyDeadline, with the attempt's sequence number
+	// and the elapsed time at that moment. It may fire shortly after a
+	// slow apply completes.
+	OnStuck func(seq uint64, elapsed time.Duration)
+
+	// Health, when non-nil, receives Healthy/Degraded/Failed transitions
+	// as the loop changes modes.
+	Health *health.Tracker
+
+	// Logger receives degraded-mode and watchdog warnings; nil uses
+	// slog.Default().
+	Logger *slog.Logger
+
 	// Metrics, when non-nil, receives queue instrumentation (depth,
 	// submitted/applied/rejected/coalesced counters, queue-wait
 	// histogram). Nil means instrumentation is off.
@@ -103,26 +181,51 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatchEdges <= 0 {
 		o.MaxBatchEdges = DefaultMaxBatchEdges
 	}
+	if o.QuarantineDepth <= 0 {
+		o.QuarantineDepth = DefaultQuarantineDepth
+	}
 	if o.Metrics == nil {
 		o.Metrics = defaultMetrics.Load()
 	}
 	return o
 }
 
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.Default()
+}
+
 // Applied reports one completed apply call.
 type Applied struct {
-	// Seq is the 1-based count of apply calls the loop has made; with a
+	// Seq is the 1-based count of successful apply calls; with a
 	// quiescent start it equals the snapshot generation delta since the
-	// loop began.
+	// loop began. A failed or quarantined batch reports the attempt
+	// number (last successful Seq + 1) without consuming it.
 	Seq uint64
 	// Batches is the number of submitted batches merged into this apply
 	// (1 when no coalescing happened).
 	Batches int
 	// Stats is the engine work the apply reported.
 	Stats core.Stats
-	// Err is the apply failure, if any. An apply error is terminal for
-	// the loop (see Loop.Err).
+	// Err is the failure delivered to this ticket, if any: a quarantined
+	// batch's validation error, ErrDegraded when the loop shut down
+	// before recovery completed, or the loop's terminal failure.
 	Err error
+}
+
+// PoisonBatch is one quarantined batch: rejected at dequeue, never
+// applied, retained for diagnosis.
+type PoisonBatch struct {
+	// Seq is the batch's 1-based submission number.
+	Seq uint64
+	// Batch is the rejected batch, as submitted.
+	Batch graph.Batch
+	// Err is why it was rejected (wraps graph.ErrInvalidBatch).
+	Err error
+	// At is when it was quarantined.
+	At time.Time
 }
 
 // Ticket tracks one submitted batch through the loop.
@@ -151,6 +254,7 @@ func (t *Ticket) Wait(ctx context.Context) (Applied, error) {
 type pending struct {
 	b        graph.Batch
 	t        *Ticket
+	seq      uint64 // 1-based submission number
 	enqueued time.Time
 }
 
@@ -163,14 +267,21 @@ type Loop struct {
 	opts    Options
 	met     loopMetrics
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	q        []pending
-	closed   bool
-	failure  error
-	inflight bool
-	seq      uint64
-	done     chan struct{}
+	mu         sync.Mutex
+	cond       *sync.Cond
+	q          []pending
+	closed     bool
+	failure    error
+	degraded   error // ErrDegraded-wrapped cause while in degraded mode
+	inflight   bool
+	seq        uint64 // successful applies
+	submits    uint64 // accepted submissions (keys quarantine records)
+	quarantine []PoisonBatch
+	nQuar      uint64 // total ever quarantined (ring evicts)
+
+	closeOnce sync.Once
+	closeCh   chan struct{} // closed by Close; interrupts recovery backoff
+	done      chan struct{}
 }
 
 // NewLoop starts the apply goroutine over a. The loop owns all writes
@@ -181,6 +292,7 @@ func NewLoop(a Applier, opts Options) *Loop {
 		applier: a,
 		opts:    opts,
 		met:     newLoopMetrics(opts.Metrics),
+		closeCh: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
@@ -188,16 +300,23 @@ func NewLoop(a Applier, opts Options) *Loop {
 	return l
 }
 
-// Submit validates and enqueues a batch. Under the Block policy it
-// waits for queue space (bounded by ctx); under Reject it fails fast
-// with ErrQueueFull. The returned Ticket resolves when the batch's
-// apply call completes; fire-and-forget callers may discard it.
+// Submit enqueues a batch. Under the Block policy it waits for queue
+// space (bounded by ctx); under Reject it fails fast with ErrQueueFull.
+// The returned Ticket resolves when the batch's apply call completes;
+// fire-and-forget callers may discard it. Batch validation happens at
+// dequeue, on the apply goroutine: a malformed batch resolves its
+// ticket with the validation error and is quarantined rather than
+// failing the loop.
 //
-// A nil ctx means no deadline. Submitting after Close returns
-// ErrClosed; after a terminal apply failure it returns that failure.
+// A nil ctx means no deadline; an already-cancelled ctx returns its
+// error without enqueuing under either policy. Submitting after Close
+// returns ErrClosed; in degraded mode, ErrDegraded; after a terminal
+// failure, that failure.
 func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
-	if err := b.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -220,7 +339,8 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 		}
 	}
 	t := &Ticket{done: make(chan Applied, 1)}
-	l.q = append(l.q, pending{b: b, t: t, enqueued: time.Now()})
+	l.submits++
+	l.q = append(l.q, pending{b: b, t: t, seq: l.submits, enqueued: time.Now()})
 	l.met.submitted.Inc()
 	l.met.depth.Set(float64(len(l.q)))
 	l.cond.Broadcast()
@@ -231,6 +351,9 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 func (l *Loop) submitErrLocked() error {
 	if l.failure != nil {
 		return l.failure
+	}
+	if l.degraded != nil {
+		return l.degraded
 	}
 	if l.closed {
 		return ErrClosed
@@ -278,13 +401,15 @@ func (l *Loop) Sync(ctx context.Context) error {
 
 // Close stops accepting submissions, drains the queue, and waits for
 // the apply goroutine to exit (bounded by ctx; nil means wait
-// indefinitely). It returns the loop's terminal failure, if any.
-// Close is idempotent.
+// indefinitely). Closing in degraded mode interrupts the recovery
+// backoff; the held batch and any queued batches fail with ErrDegraded.
+// It returns the loop's terminal failure, if any. Close is idempotent.
 func (l *Loop) Close(ctx context.Context) error {
 	l.mu.Lock()
 	l.closed = true
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	l.closeOnce.Do(func() { close(l.closeCh) })
 	if ctx == nil {
 		<-l.done
 	} else {
@@ -303,7 +428,7 @@ func (l *Loop) Close(ctx context.Context) error {
 // (after Close drained the queue, or after a terminal failure).
 func (l *Loop) Done() <-chan struct{} { return l.done }
 
-// Seq returns the number of apply calls completed so far.
+// Seq returns the number of successful apply calls completed so far.
 func (l *Loop) Seq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -317,15 +442,49 @@ func (l *Loop) Depth() int {
 	return len(l.q)
 }
 
-// Err returns the loop's terminal failure (an apply error), or nil. A
-// failed loop no longer accepts submissions: the wrapped engine's
-// in-memory state is undefined after a mid-apply panic, so it must be
-// discarded — a durable engine can be reopened from its checkpoint and
-// journal.
+// Err returns the loop's terminal failure, or nil. A failed loop no
+// longer accepts submissions: the wrapped engine's in-memory state is
+// undefined after a mid-apply panic, so it must be discarded — a
+// durable engine can be reopened from its checkpoint and journal.
+// Quarantined batches and degraded episodes are not terminal and never
+// appear here.
 func (l *Loop) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.failure
+}
+
+// Quarantined returns the retained poison batches, oldest first (the
+// ring keeps the most recent Options.QuarantineDepth records).
+func (l *Loop) Quarantined() []PoisonBatch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]PoisonBatch(nil), l.quarantine...)
+}
+
+// QuarantinedTotal returns the number of batches ever quarantined,
+// including records the ring has evicted.
+func (l *Loop) QuarantinedTotal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nQuar
+}
+
+// Health returns the loop's health tracker (nil if none was
+// configured; a nil tracker is inert and reads as Healthy).
+func (l *Loop) Health() *health.Tracker { return l.opts.Health }
+
+// quarantineLocked records a poison batch in the bounded ring.
+// l.mu must be held.
+func (l *Loop) quarantineLocked(pb PoisonBatch) {
+	if len(l.quarantine) >= l.opts.QuarantineDepth {
+		copy(l.quarantine, l.quarantine[1:])
+		l.quarantine = l.quarantine[:len(l.quarantine)-1]
+	}
+	l.quarantine = append(l.quarantine, pb)
+	l.nQuar++
+	l.met.quarantined.Inc()
+	l.met.quarantineSize.Set(float64(len(l.quarantine)))
 }
 
 // run is the single-writer apply goroutine.
@@ -350,31 +509,56 @@ func (l *Loop) run() {
 			}
 			return
 		}
+		// Authoritative validation happens here, at the head of the
+		// queue: a poison batch is quarantined and its ticket rejected
+		// without ever reaching the engine — or latching the loop.
+		if err := l.q[0].b.Validate(); err != nil {
+			p := l.q[0]
+			l.q[0] = pending{}
+			l.q = l.q[1:]
+			rejErr := fmt.Errorf("serve: batch quarantined: %w", err)
+			l.quarantineLocked(PoisonBatch{Seq: p.seq, Batch: p.b, Err: rejErr, At: time.Now()})
+			attempt := l.seq + 1
+			l.met.depth.Set(float64(len(l.q)))
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			l.opts.logger().Warn("graphbolt: batch quarantined",
+				"submission", p.seq, "error", err)
+			p.t.done <- Applied{Seq: attempt, Batches: 1, Err: rejErr}
+			continue
+		}
 		batch, tickets, waits := l.popLocked()
 		l.inflight = true
 		l.met.depth.Set(float64(len(l.q)))
+		attempt := l.seq + 1
 		l.mu.Unlock()
 
 		for _, w := range waits {
 			l.met.queueWait.Observe(w.Seconds())
 		}
-		st, err := l.applier.ApplyBatch(batch)
+		st, err := l.applyWithRecovery(batch, attempt)
 
 		l.mu.Lock()
-		l.seq++
-		res := Applied{Seq: l.seq, Batches: len(tickets), Stats: st, Err: err}
+		res := Applied{Seq: attempt, Batches: len(tickets), Stats: st, Err: err}
 		l.inflight = false
-		if err != nil {
-			// All pre-validated input reaches the engine, so an apply
-			// error means a mid-apply panic (undefined engine state) or a
-			// journaling failure — both terminal for this writer.
-			l.failure = fmt.Errorf("serve: apply: %w", err)
-			l.met.applyErrors.Inc()
-		} else {
+		switch {
+		case err == nil:
+			l.seq++
 			l.met.applied.Inc()
 			if n := len(tickets) - 1; n > 0 {
 				l.met.coalesced.Add(int64(n))
 			}
+		case errors.Is(err, ErrDegraded):
+			// Shutdown interrupted recovery: the batch was never applied
+			// and the engine state is intact — not terminal. Remaining
+			// queued batches drain through the same path.
+			l.met.applyErrors.Inc()
+		default:
+			// Mid-apply panic or unrecoverable fault: terminal.
+			l.failure = fmt.Errorf("serve: apply: %w", err)
+			res.Err = l.failure
+			l.met.applyErrors.Inc()
+			l.opts.Health.Set(health.Failed, l.failure)
 		}
 		cb := l.opts.OnApply
 		l.cond.Broadcast()
@@ -386,7 +570,114 @@ func (l *Loop) run() {
 		if cb != nil {
 			cb(res)
 		}
+		if err == nil {
+			// A successful apply can still leave an out-of-band ailment —
+			// a checkpoint that failed after the batch landed. The batch's
+			// tickets already resolved (retrying would apply it twice);
+			// heal the fault before dequeuing the next batch.
+			if rec, ok := l.applier.(Recoverer); ok && rec.Ailment() != nil {
+				l.supervise(rec, rec.Ailment())
+			}
+		}
 	}
+}
+
+// applyWithRecovery runs one apply attempt, supervising degraded-mode
+// recovery: while the applier reports a recoverable ailment, the batch
+// is held and retried after each successful Recover. Returns the
+// terminal outcome for this batch — success, a wrapped ErrDegraded if
+// the loop closed mid-recovery, or an unrecoverable error.
+func (l *Loop) applyWithRecovery(batch graph.Batch, attempt uint64) (core.Stats, error) {
+	for {
+		st, err := l.applyOnce(batch, attempt)
+		if err == nil {
+			return st, nil
+		}
+		rec, recoverable := l.applier.(Recoverer)
+		var pe *parallel.PanicError
+		if errors.As(err, &pe) || errors.Is(err, graph.ErrInvalidBatch) {
+			return st, err
+		}
+		if !recoverable || rec.Ailment() == nil {
+			return st, err
+		}
+		if !l.supervise(rec, err) {
+			return st, fmt.Errorf("%w (closed during recovery): %v", ErrDegraded, err)
+		}
+		// Recovered: replay the held batch.
+	}
+}
+
+// applyOnce calls the engine, arming the stuck-apply watchdog when
+// configured.
+func (l *Loop) applyOnce(batch graph.Batch, attempt uint64) (core.Stats, error) {
+	if l.opts.ApplyDeadline <= 0 {
+		return l.applier.ApplyBatch(batch)
+	}
+	start := time.Now()
+	var fired atomic.Bool
+	timer := time.AfterFunc(l.opts.ApplyDeadline, func() {
+		l.met.stuckApplies.Set(1)
+		l.met.watchdogStalls.Inc()
+		fired.Store(true)
+		elapsed := time.Since(start)
+		l.opts.logger().Warn("graphbolt: apply exceeded deadline",
+			"seq", attempt, "deadline", l.opts.ApplyDeadline, "elapsed", elapsed)
+		if l.opts.OnStuck != nil {
+			l.opts.OnStuck(attempt, elapsed)
+		}
+	})
+	st, err := l.applier.ApplyBatch(batch)
+	timer.Stop()
+	if fired.Load() {
+		l.met.stuckApplies.Set(0)
+	}
+	return st, err
+}
+
+// supervise runs the degraded-mode recovery loop: writes fail fast
+// with ErrDegraded while Recover is retried under the configured
+// backoff. Returns true once recovery succeeds, false if the loop was
+// closed first. Runs on the apply goroutine.
+func (l *Loop) supervise(rec Recoverer, cause error) bool {
+	wrapped := fmt.Errorf("%w: %v", ErrDegraded, cause)
+	l.mu.Lock()
+	l.degraded = wrapped
+	l.cond.Broadcast() // blocked submitters fail fast now
+	l.mu.Unlock()
+	l.opts.Health.Set(health.Degraded, cause)
+	l.opts.logger().Warn("graphbolt: entering degraded mode", "cause", cause)
+
+	healed := false
+	for attempt := 0; ; attempt++ {
+		delay := l.opts.Backoff.Delay(attempt)
+		l.met.recoveryBackoff.Observe(delay.Seconds())
+		select {
+		case <-l.closeCh:
+		case <-time.After(delay):
+			l.met.recoveryAttempts.Inc()
+			if err := rec.Recover(); err != nil {
+				l.opts.Health.Set(health.Degraded, err) // refresh the cause
+				l.mu.Lock()
+				l.degraded = fmt.Errorf("%w: %v", ErrDegraded, err)
+				l.mu.Unlock()
+				continue
+			}
+			healed = true
+		}
+		break
+	}
+	if !healed {
+		return false
+	}
+	l.met.recoveries.Inc()
+	l.mu.Lock()
+	l.degraded = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.opts.Health.Set(health.Healthy, nil)
+	l.opts.logger().Info("graphbolt: recovered, leaving degraded mode")
+	return true
 }
 
 // edgeKey identifies an edge by endpoints, the granularity deletions
@@ -396,7 +687,9 @@ type edgeKey struct{ from, to graph.VertexID }
 // popLocked dequeues the next batch and, unless coalescing is disabled,
 // merges compatible successors up to the size cap. It returns the batch
 // to apply, the tickets it covers, and each batch's time in queue.
-// l.mu must be held.
+// The head batch has been validated by the caller; a candidate that
+// fails validation ends the merge run so it reaches the head of the
+// queue — and the quarantine — on its own. l.mu must be held.
 func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration) {
 	now := time.Now()
 	first := l.q[0]
@@ -416,6 +709,9 @@ func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration) {
 		nb := l.q[0].b
 		if size+len(nb.Add)+len(nb.Del) > l.opts.MaxBatchEdges {
 			break
+		}
+		if nb.Validate() != nil {
+			break // poison: keep it un-merged for its own quarantine
 		}
 		if addKeys == nil {
 			addKeys = make(map[edgeKey]struct{}, len(acc.Add))

@@ -3,6 +3,7 @@ package serve_test
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
 	"testing"
 	"time"
@@ -286,19 +287,53 @@ func TestTerminalApplyFailure(t *testing.T) {
 	}
 }
 
-func TestSubmitValidatesBatch(t *testing.T) {
+// TestPoisonBatchQuarantined: a malformed batch is accepted by Submit
+// (validation is the apply goroutine's job), rejected on its ticket at
+// dequeue, quarantined, and the loop keeps serving afterwards.
+func TestPoisonBatchQuarantined(t *testing.T) {
 	s := newStubApplier()
 	close(s.gate)
-	l := serve.NewLoop(s, serve.Options{})
+	l := serve.NewLoop(s, serve.Options{Logger: slog.New(slog.DiscardHandler)})
 	bad := graph.Batch{Add: []graph.Edge{{From: 0, To: graph.MaxVertexID + 1, Weight: 1}}}
-	if _, err := l.Submit(nil, bad); !errors.Is(err, graph.ErrInvalidEdge) {
-		t.Fatalf("err = %v, want ErrInvalidEdge", err)
+	tk, err := l.Submit(nil, bad)
+	if err != nil {
+		t.Fatalf("Submit of poison batch rejected eagerly: %v", err)
+	}
+	a, err := tk.Wait(nil)
+	if !errors.Is(err, graph.ErrInvalidEdge) || !errors.Is(err, graph.ErrInvalidBatch) {
+		t.Fatalf("ticket err = %v, want ErrInvalidBatch/ErrInvalidEdge", err)
+	}
+	if a.Seq != 1 || a.Batches != 1 {
+		t.Fatalf("quarantine Applied = %+v, want attempt Seq 1", a)
+	}
+	if len(s.batches()) != 0 {
+		t.Fatal("poison batch reached the applier")
+	}
+
+	// The loop is not latched: a valid batch still applies, and the
+	// quarantine retains the poison record.
+	good, err := l.Submit(nil, addBatch(edge(0, 1)))
+	if err != nil {
+		t.Fatalf("Submit after quarantine: %v", err)
+	}
+	if _, err := good.Wait(nil); err != nil {
+		t.Fatalf("apply after quarantine: %v", err)
+	}
+	q := l.Quarantined()
+	if len(q) != 1 || l.QuarantinedTotal() != 1 {
+		t.Fatalf("Quarantined() = %d records, total %d; want 1, 1", len(q), l.QuarantinedTotal())
+	}
+	if q[0].Seq != 1 || !errors.Is(q[0].Err, graph.ErrInvalidBatch) || q[0].At.IsZero() {
+		t.Fatalf("quarantine record = %+v", q[0])
+	}
+	if len(q[0].Batch.Add) != 1 || q[0].Batch.Add[0].To != graph.MaxVertexID+1 {
+		t.Fatalf("quarantine kept wrong batch: %+v", q[0].Batch)
 	}
 	if err := l.Close(nil); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.batches()) != 0 {
-		t.Fatal("invalid batch reached the applier")
+	if len(s.batches()) != 1 {
+		t.Fatalf("%d batches reached the applier, want 1", len(s.batches()))
 	}
 }
 

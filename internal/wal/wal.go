@@ -49,6 +49,12 @@ const maxRecordBytes = 1 << 30
 // means a misconfigured path.
 var ErrNotWAL = errors.New("wal: not a write-ahead log (bad file magic)")
 
+// ErrDamaged reports an append attempted on a log whose tail is in an
+// unknown state after a failed write or fsync. The log refuses further
+// appends until Repair truncates it back to the last consistent length;
+// a damaged log can still be scanned, reset, or closed.
+var ErrDamaged = errors.New("wal: journal damaged, repair required")
+
 // SyncPolicy selects when appends reach stable storage.
 type SyncPolicy int
 
@@ -89,6 +95,20 @@ type Options struct {
 	// counts and bytes, fsync latency, recovery results). Nil means
 	// instrumentation is off.
 	Metrics *obs.Registry
+	// Hooks are fault-injection points for tests; zero means none.
+	Hooks Hooks
+}
+
+// Hooks let tests interpose on the log's I/O without reaching into its
+// internals. Production code leaves them zero.
+type Hooks struct {
+	// WrapWriter, when non-nil, wraps the writer used for appends at
+	// Open (e.g. a faultio.Writer). The header write and truncations go
+	// to the file directly.
+	WrapWriter func(io.Writer) io.Writer
+	// BeforeSync, when non-nil, runs before every fsync; a non-nil
+	// result fails the sync with that error (e.g. faultio.Fsync.Check).
+	BeforeSync func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +152,16 @@ type WAL struct {
 	recovered []Record
 	info      RecoveryInfo
 	met       walMetrics
+
+	// Damage tracking: after a failed write, truncate, or fsync the
+	// on-disk tail is in an unknown state. good remembers the last
+	// length at which file contents, writer position, and durability all
+	// agreed; Repair truncates back to it. A failed-but-fully-written
+	// append also rolls back to good — the caller never acknowledged the
+	// batch and will re-append it, so leaving the record would replay it
+	// twice.
+	damaged bool
+	good    int64
 }
 
 // walMetrics holds the journal's metric handles; the zero value (nil
@@ -186,6 +216,10 @@ func Open(path string, opts Options) (*WAL, error) {
 		f.Close()
 		return nil, err
 	}
+	if wrap := opts.Hooks.WrapWriter; wrap != nil {
+		w.w = wrap(f)
+	}
+	w.good = w.size
 	w.met.recoveredRecords.Add(int64(w.info.Records))
 	w.met.truncatedBytes.Add(w.info.DroppedBytes)
 	w.met.size.Set(float64(w.size))
@@ -292,12 +326,18 @@ func (w *WAL) Recovery() RecoveryInfo { return w.info }
 func (w *WAL) Size() int64 { return w.size }
 
 // Append journals one batch under the given sequence number and applies
-// the sync policy. The frame is written with a single Write call. On a
-// write error the log must be considered failed: the tail may be torn,
-// and the caller should stop acknowledging batches (recovery will
-// truncate the tear).
+// the sync policy. The frame is written with a single Write call. Any
+// failure — write error, short write, failed fsync — marks the log
+// damaged: the on-disk tail is untrustworthy (possibly torn, possibly
+// holding an unacknowledged record that a retry would duplicate), so
+// further appends fail with ErrDamaged until Repair truncates back to
+// the last consistent length.
 func (w *WAL) Append(seq uint64, b graph.Batch) error {
+	if w.damaged {
+		return fmt.Errorf("wal: append seq %d: %w", seq, ErrDamaged)
+	}
 	w.recovered = nil
+	start := w.size
 	// Capacity: frame header + seq + two uvarint counts + 16 bytes/edge.
 	frame := make([]byte, frameHeaderSize, frameHeaderSize+8+20+16*(len(b.Add)+len(b.Del)))
 	frame = binary.LittleEndian.AppendUint64(frame, seq)
@@ -308,9 +348,11 @@ func (w *WAL) Append(seq uint64, b graph.Batch) error {
 	n, err := w.w.Write(frame)
 	w.size += int64(n)
 	if err != nil {
+		w.markDamaged(start)
 		return fmt.Errorf("wal: append seq %d: %w", seq, err)
 	}
 	if n < len(frame) {
+		w.markDamaged(start)
 		return fmt.Errorf("wal: append seq %d: short write (%d of %d bytes)", seq, n, len(frame))
 	}
 	w.lastFrame = int64(len(frame))
@@ -319,12 +361,52 @@ func (w *WAL) Append(seq uint64, b graph.Batch) error {
 	w.met.size.Set(float64(w.size))
 	switch w.opts.Sync {
 	case SyncEveryBatch:
-		return w.Sync()
+		if err := w.Sync(); err != nil {
+			w.markDamaged(start)
+			return err
+		}
 	case SyncInterval:
 		if time.Since(w.lastSync) >= w.opts.Interval {
-			return w.Sync()
+			if err := w.Sync(); err != nil {
+				w.markDamaged(start)
+				return err
+			}
 		}
 	}
+	w.good = w.size
+	return nil
+}
+
+// markDamaged latches the damaged state with good as the last length
+// at which the log was known consistent.
+func (w *WAL) markDamaged(good int64) {
+	w.damaged, w.good, w.lastFrame = true, good, 0
+}
+
+// Damaged reports whether the log has refused to accept appends since a
+// failed write or fsync and needs Repair.
+func (w *WAL) Damaged() bool { return w.damaged }
+
+// Repair truncates a damaged log back to its last consistent length and
+// re-syncs, after which appends are accepted again. Repairing an
+// undamaged log is a no-op. If the truncate, seek, or fsync itself
+// fails the log stays damaged and Repair can be retried.
+func (w *WAL) Repair() error {
+	if !w.damaged {
+		return nil
+	}
+	if err := w.f.Truncate(w.good); err != nil {
+		return fmt.Errorf("wal: repair truncate: %w", err)
+	}
+	if _, err := w.f.Seek(w.good, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: repair seek: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		return fmt.Errorf("wal: repair: %w", err)
+	}
+	w.size = w.good
+	w.damaged = false
+	w.met.size.Set(float64(w.size))
 	return nil
 }
 
@@ -340,12 +422,19 @@ func (w *WAL) Unappend() error {
 	w.lastFrame = 0
 	w.met.size.Set(float64(w.size))
 	if err := w.f.Truncate(w.size); err != nil {
+		w.markDamaged(w.size)
 		return fmt.Errorf("wal: unappend: %w", err)
 	}
 	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.markDamaged(w.size)
 		return fmt.Errorf("wal: unappend seek: %w", err)
 	}
-	return w.Sync()
+	if err := w.Sync(); err != nil {
+		w.markDamaged(w.size)
+		return err
+	}
+	w.good = w.size
+	return nil
 }
 
 // Sync flushes the log to stable storage.
@@ -353,6 +442,11 @@ func (w *WAL) Sync() error {
 	var start time.Time
 	if w.met.fsync != nil {
 		start = time.Now()
+	}
+	if hook := w.opts.Hooks.BeforeSync; hook != nil {
+		if err := hook(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
@@ -365,18 +459,27 @@ func (w *WAL) Sync() error {
 }
 
 // Reset empties the log after a checkpoint has made its records
-// redundant, keeping the file header.
+// redundant, keeping the file header. A successful Reset also clears
+// any damage: truncating to the header is the most thorough repair
+// there is.
 func (w *WAL) Reset() error {
 	w.recovered, w.lastFrame = nil, 0
 	w.size = int64(len(fileMagic))
 	w.met.size.Set(float64(w.size))
 	if err := w.f.Truncate(w.size); err != nil {
+		w.markDamaged(w.size)
 		return fmt.Errorf("wal: reset: %w", err)
 	}
 	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.markDamaged(w.size)
 		return fmt.Errorf("wal: reset seek: %w", err)
 	}
-	return w.Sync()
+	if err := w.Sync(); err != nil {
+		w.markDamaged(w.size)
+		return err
+	}
+	w.damaged, w.good = false, w.size
+	return nil
 }
 
 // Close syncs and closes the log.

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -255,6 +256,178 @@ func TestSyncPolicies(t *testing.T) {
 				t.Fatalf("recovered %d records, want 10", got)
 			}
 		})
+	}
+}
+
+// TestShortWriteDamagesAndRepairs drives the degraded-mode contract
+// end to end through the public hooks: a torn append latches ErrDamaged,
+// Repair truncates back to consistency, and the retried record is the
+// only thing recovery sees.
+func TestShortWriteDamagesAndRepairs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	openAppend(t, path, testBatches()[:1])
+
+	var inj *faultio.Writer
+	w, err := Open(path, Options{Hooks: Hooks{
+		WrapWriter: func(under io.Writer) io.Writer {
+			inj = faultio.NewWriter(under)
+			return inj
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Damaged() {
+		t.Fatal("fresh log reports damage")
+	}
+
+	inj.ShortNext(3, nil)
+	if err := w.Append(2, testBatches()[3]); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("torn append: %v", err)
+	}
+	if !w.Damaged() {
+		t.Fatal("torn append did not damage the log")
+	}
+	// Damaged log fails fast without touching the file.
+	if err := w.Append(2, testBatches()[3]); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("append on damaged log: %v, want ErrDamaged", err)
+	}
+
+	if err := w.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Damaged() {
+		t.Fatal("still damaged after Repair")
+	}
+	if err := w.Append(2, testBatches()[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	recordsEqual(t, reopened.Recovered(), []graph.Batch{testBatches()[0], testBatches()[3]}, 1)
+	if reopened.Recovery().Truncated {
+		t.Fatal("repair left a torn tail for recovery to clean up")
+	}
+}
+
+// TestFsyncFailureRollsBackAppend pins the duplicate-replay hazard: a
+// record fully written but whose fsync failed was never acknowledged,
+// so Repair must drop it — the caller's retry re-appends it, and
+// recovery must see the sequence exactly once.
+func TestFsyncFailureRollsBackAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	fsync := faultio.NewFsync()
+	w, err := Open(path, Options{Hooks: Hooks{BeforeSync: fsync.Check}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, testBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	fsync.FailEveryKth(1, nil)
+	if err := w.Append(2, testBatches()[1]); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("append with failing fsync: %v", err)
+	}
+	if !w.Damaged() {
+		t.Fatal("failed fsync did not damage the log")
+	}
+	fsync.FailEveryKth(0, nil)
+
+	if err := w.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, testBatches()[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	recordsEqual(t, reopened.Recovered(), testBatches()[:2], 1)
+}
+
+// TestRepairWhileFsyncStillFailing pins retryability: Repair under a
+// still-failing fsync reports the error, leaves the log damaged, and
+// succeeds once the fault clears.
+func TestRepairWhileFsyncStillFailing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	fsync := faultio.NewFsync()
+	w, err := Open(path, Options{Hooks: Hooks{BeforeSync: fsync.Check}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	fsync.FailEveryKth(1, nil)
+	if err := w.Append(1, testBatches()[0]); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Repair(); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("Repair under persistent fault: %v", err)
+	}
+	if !w.Damaged() {
+		t.Fatal("failed Repair cleared the damage flag")
+	}
+	fsync.FailEveryKth(0, nil)
+	if err := w.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, testBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairUndamagedIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Repair(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetClearsDamage: truncating to the header is itself a repair.
+func TestResetClearsDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	var inj *faultio.Writer
+	w, err := Open(path, Options{Hooks: Hooks{
+		WrapWriter: func(under io.Writer) io.Writer {
+			inj = faultio.NewWriter(under)
+			return inj
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	inj.ShortNext(2, nil)
+	if err := w.Append(1, testBatches()[0]); err == nil {
+		t.Fatal("torn append succeeded")
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Damaged() {
+		t.Fatal("Reset left the log damaged")
+	}
+	if err := w.Append(2, testBatches()[1]); err != nil {
+		t.Fatal(err)
 	}
 }
 

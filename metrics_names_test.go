@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/qcache"
@@ -32,6 +33,7 @@ var (
 		"graphbolt_engine_refine_iterations_total",
 		"graphbolt_engine_runs_total",
 		"graphbolt_engine_vertex_computations_total",
+		"graphbolt_health_transitions_total",
 		"graphbolt_parallel_chunk_claims_total",
 		"graphbolt_parallel_inline_loops_total",
 		"graphbolt_parallel_loops_total",
@@ -45,9 +47,13 @@ var (
 		"graphbolt_serve_applied_batches_total",
 		"graphbolt_serve_apply_errors_total",
 		"graphbolt_serve_coalesced_batches_total",
+		"graphbolt_serve_quarantined_batches_total",
 		"graphbolt_serve_queries_total",
+		"graphbolt_serve_recoveries_total",
+		"graphbolt_serve_recovery_attempts_total",
 		"graphbolt_serve_rejected_batches_total",
 		"graphbolt_serve_submitted_batches_total",
+		"graphbolt_serve_watchdog_stalls_total",
 		"graphbolt_wal_append_bytes_total",
 		"graphbolt_wal_appends_total",
 		"graphbolt_wal_recovered_records_total",
@@ -58,9 +64,12 @@ var (
 		"graphbolt_engine_snapshot_generation",
 		"graphbolt_engine_tracked_snapshot_bytes",
 		"graphbolt_engine_tracked_snapshots",
+		"graphbolt_health_state",
 		"graphbolt_qcache_bytes",
 		"graphbolt_qcache_entries",
+		"graphbolt_serve_quarantine_size",
 		"graphbolt_serve_queue_depth",
+		"graphbolt_serve_stuck_applies",
 		"graphbolt_wal_size_bytes",
 	}
 	goldenHistograms = []string{
@@ -70,6 +79,7 @@ var (
 		"graphbolt_parallel_worker_utilization",
 		"graphbolt_serve_queue_wait_seconds",
 		"graphbolt_serve_read_staleness_seconds",
+		"graphbolt_serve_recovery_backoff_seconds",
 		"graphbolt_wal_fsync_seconds",
 	}
 )
@@ -84,6 +94,7 @@ func TestRegisteredMetricNamesGolden(t *testing.T) {
 	durable.RegisterMetrics(reg)
 	serve.RegisterMetrics(reg)
 	qcache.RegisterMetrics(reg)
+	health.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	defer parallel.SetMetrics(nil)
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/qcache"
@@ -50,6 +51,7 @@ func EnableMetrics() *MetricsRegistry {
 	serve.SetDefaultMetrics(reg)
 	serve.RegisterMetrics(reg)
 	qcache.RegisterMetrics(reg)
+	health.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }

@@ -3,9 +3,14 @@ package graphbolt
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"sync"
+	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/qcache"
 	"repro/internal/serve"
 )
@@ -35,7 +40,42 @@ var (
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrServerClosed reports a Submit or Wait after Close.
 	ErrServerClosed = serve.ErrClosed
+	// ErrDegraded reports a Submit refused (or a held batch failed)
+	// because the server is in degraded read-only mode: the journal
+	// faulted and recovery is being retried in the background. Reads
+	// keep working; resubmit after the server returns to HealthHealthy.
+	ErrDegraded = serve.ErrDegraded
 )
+
+// HealthState is the server's coarse operating state.
+type HealthState = health.State
+
+const (
+	// HealthHealthy: writes and reads both serving.
+	HealthHealthy = health.Healthy
+	// HealthDegraded: reads serving, writes failing fast with
+	// ErrDegraded while recovery retries in the background.
+	HealthDegraded = health.Degraded
+	// HealthFailed: the apply loop died; engine state is undefined.
+	HealthFailed = health.Failed
+)
+
+// HealthInfo is a point-in-time health report: state, cause (nil when
+// healthy) and when the state was entered.
+type HealthInfo = health.Info
+
+// HealthTracker publishes health state transitions; obtain a server's
+// via Server.Health.
+type HealthTracker = health.Tracker
+
+// PoisonBatch records one quarantined batch: its submission sequence,
+// the offending batch, the validation error and when it was rejected.
+type PoisonBatch = serve.PoisonBatch
+
+// BackoffPolicy paces degraded-mode recovery retries: capped
+// exponential with jitter. The zero value uses sane defaults
+// (20ms base, 5s cap, factor 2, 20% jitter).
+type BackoffPolicy = backoff.Policy
 
 // Applied reports one completed apply call of the ingest loop.
 type Applied = serve.Applied
@@ -70,6 +110,23 @@ type ServerOptions struct {
 	// immutable — and are evicted by LRU within the budget and when
 	// their generation falls out of the engine's history ring.
 	QueryCacheBytes int64
+	// QuarantineDepth bounds the ring of retained poison-batch records
+	// (Quarantined); the running total keeps counting past it. 0 means
+	// serve.DefaultQuarantineDepth (32).
+	QuarantineDepth int
+	// Backoff paces recovery retries while the server is degraded. The
+	// zero value uses the defaults documented on BackoffPolicy.
+	Backoff BackoffPolicy
+	// ApplyDeadline, when positive, arms a watchdog on every apply
+	// call: exceeding it raises graphbolt_serve_stuck_applies, logs a
+	// warning and invokes OnStuck. The apply is not interrupted.
+	ApplyDeadline time.Duration
+	// OnStuck, when non-nil, is called (from a timer goroutine) when an
+	// apply exceeds ApplyDeadline.
+	OnStuck func(seq uint64, elapsed time.Duration)
+	// Logger receives degraded-mode and watchdog warnings; nil uses
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the concurrent serving facade over an engine: a
@@ -84,11 +141,12 @@ type ServerOptions struct {
 // (journaled engine — the journal-before-mutate ordering is preserved
 // because journaling happens inside the single-writer apply loop).
 type Server[V, A any] struct {
-	eng   *core.Engine[V, A]
-	loop  *serve.Loop
-	read  serve.ReadMetrics
-	cache *qcache.Cache // nil when QueryCacheBytes == 0
-	gen0  uint64        // snapshot generation when the loop started
+	eng    *core.Engine[V, A]
+	loop   *serve.Loop
+	read   serve.ReadMetrics
+	cache  *qcache.Cache // nil when QueryCacheBytes == 0
+	gen0   uint64        // snapshot generation when the loop started
+	health *health.Tracker
 
 	closeEng func() error // durable close, nil for in-memory
 
@@ -128,6 +186,7 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 	}
 	s.read = serve.NewReadMetrics(reg)
 	s.cache = qcache.New(opts.QueryCacheBytes, reg)
+	s.health = health.NewTracker(reg)
 	userCb := opts.OnApply
 	s.loop = serve.NewLoop(a, serve.Options{
 		QueueDepth:        opts.QueueDepth,
@@ -135,6 +194,12 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 		DisableCoalescing: opts.DisableCoalescing,
 		Policy:            opts.Policy,
 		Metrics:           reg,
+		QuarantineDepth:   opts.QuarantineDepth,
+		Backoff:           opts.Backoff,
+		ApplyDeadline:     opts.ApplyDeadline,
+		OnStuck:           opts.OnStuck,
+		Health:            s.health,
+		Logger:            opts.Logger,
 		OnApply: func(ap Applied) {
 			// Cache eviction follows ring retention: entries for
 			// generations SnapshotAt can no longer serve are dead weight.
@@ -153,11 +218,14 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 	return s
 }
 
-// Submit validates and enqueues a mutation batch for the single-writer
-// apply loop. Under SubmitBlock it waits for queue space (bounded by
-// ctx, which may be nil); under SubmitReject it fails fast with
-// ErrQueueFull. The returned ticket resolves once the batch's apply
-// call completes; fire-and-forget callers may discard it.
+// Submit enqueues a mutation batch for the single-writer apply loop.
+// Under SubmitBlock it waits for queue space (bounded by ctx, which may
+// be nil); under SubmitReject it fails fast with ErrQueueFull; while
+// the server is degraded it fails fast with ErrDegraded. The returned
+// ticket resolves once the batch's apply call completes; fire-and-forget
+// callers may discard it. Malformed batches are not applied: their
+// ticket fails wrapping ErrInvalidBatch and the batch is quarantined
+// (Quarantined) while the loop keeps serving.
 func (s *Server[V, A]) Submit(ctx context.Context, b Batch) (*SubmitTicket, error) {
 	return s.loop.Submit(ctx, b)
 }
@@ -287,8 +355,35 @@ func (s *Server[V, A]) QueueDepth() int { return s.loop.Depth() }
 
 // Err returns the ingest loop's terminal failure, or nil. After a
 // terminal failure the wrapped engine must be discarded; a durable
-// engine can be reopened from its checkpoint and journal.
+// engine can be reopened from its checkpoint and journal. Degraded
+// mode is not terminal and does not show up here — see Health.
 func (s *Server[V, A]) Err() error { return s.loop.Err() }
+
+// Health returns the server's health tracker. Its State method reports
+// HealthHealthy, HealthDegraded (reads serving, writes failing fast
+// while recovery retries) or HealthFailed (terminal); OnTransition
+// registers hooks for state changes.
+func (s *Server[V, A]) Health() *HealthTracker { return s.health }
+
+// HealthHandler returns an http.Handler serving the server's health as
+// JSON ({"state","cause","since"}); it answers 200 while Healthy or
+// Degraded and 503 once Failed, so it suits both liveness and, via the
+// body, readiness checks. Mount it alongside the metrics mux:
+//
+//	mux := obs.HandlerWith(reg, map[string]http.Handler{
+//	    "/healthz": srv.HealthHandler(),
+//	})
+func (s *Server[V, A]) HealthHandler() http.Handler { return health.Handler(s.health) }
+
+// Quarantined returns the retained poison-batch records, oldest first
+// (a bounded ring: the most recent ServerOptions.QuarantineDepth).
+// Each record carries the offending batch, its submission sequence,
+// the validation error and the rejection time.
+func (s *Server[V, A]) Quarantined() []PoisonBatch { return s.loop.Quarantined() }
+
+// QuarantinedTotal returns the running count of quarantined batches,
+// including records the ring has since evicted.
+func (s *Server[V, A]) QuarantinedTotal() uint64 { return s.loop.QuarantinedTotal() }
 
 // Close stops accepting submissions, drains the queue, waits for the
 // apply goroutine to exit (bounded by ctx; nil waits indefinitely),
