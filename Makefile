@@ -5,19 +5,19 @@ FUZZTIME ?= 30s
 COVER_FLOOR_core  = 70
 COVER_FLOOR_serve = 70
 
-.PHONY: build test check check-race race vet fmt bench fuzz cover chaos
+.PHONY: build test check check-race race vet fmt bench fuzz cover chaos overload
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race -shuffle=on ./internal/...
 
 # check-race runs the whole module under the race detector, including
 # the root-package serving stress test (concurrent readers vs the
@@ -51,6 +51,15 @@ bench:
 # the stream for CI.
 chaos:
 	$(GO) test -race -run TestChaosSoak -v $(CHAOS_FLAGS) .
+
+# overload runs the admission-control soak under the race detector: an
+# open-loop producer bursts far past the apply loop's throughput and the
+# test asserts bounded p99 queue wait, retryable sheds with RetryAfter
+# hints, the coalescing governor widening then narrowing the batch cap,
+# a Healthy -> Overloaded -> Healthy round-trip, and BSP equivalence
+# over the admitted batches. OVERLOAD_FLAGS=-short shrinks it for CI.
+overload:
+	$(GO) test -race -run TestOverloadSoak -v $(OVERLOAD_FLAGS) .
 
 # fuzz runs every fuzz target for FUZZTIME each (Go only allows one
 # -fuzz pattern per invocation). The seed corpora alone run in `make

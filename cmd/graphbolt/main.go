@@ -38,6 +38,16 @@
 //
 //	graphbolt -graph base.el -stream stream.el -serve -retain 16 -query-cache 1048576
 //
+// With -admission, -serve mode enables deadline-aware admission control
+// and the adaptive coalescing governor: submissions the backlog cannot
+// absorb within -slo are shed with a retry hint (the CLI's submit loop
+// honors it, backing off and resubmitting), the coalesced batch cap
+// floats between -batch-floor and -batch-ceil with observed load, and
+// overload episodes surface as "overloaded" on /healthz and in
+// graphbolt_admission_* metrics:
+//
+//	graphbolt -graph base.el -stream stream.el -serve -admission -slo 200ms
+//
 // Progress is logged with log/slog, one line per event (load, recovery,
 // initial run, each applied batch); -log-format selects text or JSON.
 // Result output (-top, -validate) stays on stdout.
@@ -57,6 +67,7 @@ import (
 	"time"
 
 	graphbolt "repro"
+	"repro/internal/admission"
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/durable"
@@ -93,6 +104,10 @@ func main() {
 		retain     = flag.Int("retain", 1, "published generations kept addressable for point-in-time reads (SnapshotAt)")
 		queryCache = flag.Int64("query-cache", 0, "per-generation query cache budget in bytes for -serve mode (0 = off)")
 		applyDl    = flag.Duration("apply-deadline", 0, "watchdog deadline per apply call in -serve mode (0 = off); exceeding it logs and raises graphbolt_serve_stuck_applies")
+		admitMode  = flag.Bool("admission", false, "enable deadline-aware admission control and the adaptive coalescing governor in -serve mode")
+		slo        = flag.Duration("slo", 0, "admission SLO: bound on a submission's estimated queue wait (0 = default 500ms; with -admission)")
+		batchFloor = flag.Int("batch-floor", 0, "adaptive coalescing cap floor in edges (0 = default 256; with -admission)")
+		batchCeil  = flag.Int("batch-ceil", 0, "adaptive coalescing cap ceiling in edges (0 = default 65536; with -admission)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -119,6 +134,7 @@ func main() {
 		serve.RegisterMetrics(reg)
 		qcache.RegisterMetrics(reg)
 		health.RegisterMetrics(reg)
+		admission.RegisterMetrics(reg)
 		parallel.SetMetrics(reg)
 		ln, err := net.Listen("tcp", *metricsAt)
 		if err != nil {
@@ -229,6 +245,13 @@ func main() {
 			logger:        logger,
 			health:        &healthProxy,
 		}
+		if *admitMode {
+			sc.admission = &graphbolt.AdmissionOptions{
+				SLO:        *slo,
+				FloorEdges: *batchFloor,
+				CeilEdges:  *batchCeil,
+			}
+		}
 		if err := run.serve(sc, batches); err != nil {
 			fatal("serve: %v", err)
 		}
@@ -320,6 +343,7 @@ type serveConfig struct {
 	queueDepth    int
 	cacheBytes    int64
 	applyDeadline time.Duration
+	admission     *graphbolt.AdmissionOptions // nil unless -admission
 	metrics       *obs.Registry
 	logger        *slog.Logger
 	health        *atomic.Pointer[health.Tracker]
@@ -387,6 +411,7 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 		QueueDepth:      sc.queueDepth,
 		QueryCacheBytes: sc.cacheBytes,
 		ApplyDeadline:   sc.applyDeadline,
+		Admission:       sc.admission,
 		Logger:          logger,
 		// Resuming an interrupted stream relies on journal seq == stream
 		// position (skip = d.Seq() above), so the durable path must
@@ -456,8 +481,24 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 
 	ctx := context.Background()
 	start := time.Now()
+	var sheds int64
 	for i := range batches {
-		if _, err := srv.Submit(ctx, batches[i]); err != nil {
+		// A retryable refusal (admission shed, full queue under Reject) is
+		// the server asking this producer to slow down: honor the hint and
+		// resubmit the same batch — order is preserved because this loop is
+		// the only producer.
+		for {
+			_, err := srv.Submit(ctx, batches[i])
+			if err == nil {
+				break
+			}
+			if after, ok := graphbolt.RetryAfter(err); ok {
+				sheds++
+				logger.Info("submission shed, backing off",
+					"batch", i+1, "retry_after", after, "err", err)
+				time.Sleep(after)
+				continue
+			}
 			close(done)
 			wg.Wait()
 			return fmt.Errorf("submit batch %d: %w", i+1, err)
@@ -486,6 +527,14 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 		"retained_newest", newest,
 		"cache_entries", srv.Cache().Len(),
 		"cache_bytes", srv.Cache().Bytes())
+	if ctl := srv.Admission(); ctl != nil {
+		logger.Info("admission summary",
+			"decisions", ctl.Decisions(),
+			"shed", ctl.Shed(),
+			"producer_backoffs", sheds,
+			"final_batch_cap", ctl.Cap(),
+			"throughput_edges_per_sec", int64(ctl.Rate()))
+	}
 	return nil
 }
 

@@ -1,0 +1,509 @@
+// Package admission turns the serve layer's telemetry into a control
+// loop: instead of letting a sustained burst pile work into the
+// mutation queue until producers block into a doomed wait, a Controller
+// continuously estimates the apply loop's throughput (edges/second,
+// from recent apply durations) and the backlog ahead of a new
+// submission, and sheds load *before* the queue whenever the estimated
+// time-to-apply cannot fit the configured SLO or the caller's context
+// deadline. Shed submissions fail fast with an actionable hint — a
+// RetryAfter duration derived from the drain rate — so clients back off
+// instead of stacking up.
+//
+// The same signals drive an adaptive coalescing governor: the merged
+// batch edge cap floats between a floor and a ceiling, widening while
+// the backlog is deep (bursts amortize into fewer refine passes) and
+// narrowing once the queue drains (small batches keep per-apply latency
+// minimal). This replaces the static MaxBatchEdges knob the paper's §6
+// batching discussion leaves fixed.
+//
+// A Controller also tracks a coarse overloaded bit with hysteresis —
+// entered on the first shed, left once the estimated wait falls back
+// under a quarter of the SLO — which the serve layer maps onto the
+// health tracker's Overloaded state: reads and writes both still serve,
+// but admission is throttled.
+//
+// All methods are safe for concurrent use and nil-safe: a nil
+// *Controller admits everything and adjusts nothing, mirroring the obs
+// conventions so call sites stay unconditional.
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults for zero-valued Config fields.
+const (
+	// DefaultSLO bounds the estimated queue wait a submission may face.
+	DefaultSLO = 500 * time.Millisecond
+	// DefaultFloorEdges is the governor's minimum coalescing cap.
+	DefaultFloorEdges = 256
+	// DefaultCeilEdges is the governor's maximum coalescing cap.
+	DefaultCeilEdges = 1 << 16
+	// DefaultInitialRate is the assumed apply throughput (edges/second)
+	// before the first sample. Deliberately conservative: an optimistic
+	// guess over-admits into a queue whose real drain rate is unknown,
+	// while a pessimistic one sheds a few early requests with a short
+	// RetryAfter and then learns.
+	DefaultInitialRate = 50_000
+	// DefaultHeadroom is the fraction of the SLO budget the controller
+	// fills before shedding, absorbing estimation error (EWMA lag, GC
+	// pauses) so admitted batches still land inside the SLO.
+	DefaultHeadroom = 0.8
+	// DefaultAlpha is the EWMA smoothing factor for throughput samples.
+	DefaultAlpha = 0.3
+	// DefaultMinRetryAfter floors the hint on shed submissions so a
+	// client never busy-loops on a zero backoff.
+	DefaultMinRetryAfter = time.Millisecond
+)
+
+// Governor thresholds, as fractions of the SLO: the cap widens while
+// the estimated wait is above widenFrac·SLO, narrows below
+// narrowFrac·SLO, and the overloaded bit clears below exitFrac·SLO.
+// The gap between widen and narrow is the hysteresis band that keeps
+// the cap from oscillating on a steady stream.
+const (
+	widenFrac  = 0.5
+	narrowFrac = 0.125
+	exitFrac   = 0.25
+)
+
+// Config parameterizes a Controller. The zero value of every field is
+// replaced by the package default.
+type Config struct {
+	// SLO is the target bound on a submission's estimated queue wait:
+	// admission refuses work it cannot start applying within this
+	// budget (scaled by Headroom). Default DefaultSLO.
+	SLO time.Duration
+
+	// FloorEdges and CeilEdges bound the adaptive coalescing cap.
+	// Defaults DefaultFloorEdges and DefaultCeilEdges.
+	FloorEdges int
+	CeilEdges  int
+
+	// InitialCap seeds the adaptive cap, clamped into [floor, ceil].
+	// 0 means the floor; the serve layer passes its static
+	// MaxBatchEdges so enabling admission starts from familiar ground.
+	InitialCap int
+
+	// InitialRate is the assumed throughput (edges/second) before the
+	// first apply sample. Default DefaultInitialRate.
+	InitialRate float64
+
+	// Headroom is the fraction of the wait budget admission will fill
+	// (0 < Headroom <= 1). Default DefaultHeadroom.
+	Headroom float64
+
+	// Alpha is the EWMA smoothing factor for throughput samples in
+	// (0, 1]: higher tracks faster, lower smooths harder. Default
+	// DefaultAlpha.
+	Alpha float64
+
+	// MinRetryAfter floors the RetryAfter hint on shed submissions.
+	// Default DefaultMinRetryAfter.
+	MinRetryAfter time.Duration
+
+	// OnStateChange, when non-nil, is called after the controller
+	// enters (true) or leaves (false) the overloaded state, outside the
+	// controller's lock. The cause names the shed decision that tripped
+	// it. The serve layer uses this to drive the health tracker.
+	OnStateChange func(overloaded bool, cause error)
+
+	// Metrics, when non-nil, receives the graphbolt_admission_* series.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.SLO <= 0 {
+		c.SLO = DefaultSLO
+	}
+	if c.FloorEdges <= 0 {
+		c.FloorEdges = DefaultFloorEdges
+	}
+	if c.CeilEdges <= 0 {
+		c.CeilEdges = DefaultCeilEdges
+	}
+	if c.CeilEdges < c.FloorEdges {
+		c.CeilEdges = c.FloorEdges
+	}
+	if c.InitialCap <= 0 {
+		c.InitialCap = c.FloorEdges
+	}
+	if c.InitialRate <= 0 {
+		c.InitialRate = DefaultInitialRate
+	}
+	if c.Headroom <= 0 || c.Headroom > 1 {
+		c.Headroom = DefaultHeadroom
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.MinRetryAfter <= 0 {
+		c.MinRetryAfter = DefaultMinRetryAfter
+	}
+	return c
+}
+
+// Decision reports one Admit evaluation.
+type Decision struct {
+	// Admitted is whether the submission may enqueue. When true the
+	// controller has already charged the submission's weight to the
+	// backlog; a caller that then fails to enqueue must Cancel it.
+	Admitted bool
+	// EstimatedWait is the controller's estimate of how long the
+	// submission would wait before its apply call starts, given the
+	// current backlog and throughput.
+	EstimatedWait time.Duration
+	// RetryAfter, on a refusal, is the suggested client backoff: the
+	// estimated time for enough backlog to drain that an equally sized
+	// submission would fit the budget. Always positive on a refusal.
+	RetryAfter time.Duration
+}
+
+// Controller is the admission control loop's state: a throughput
+// estimate, the edge-weight backlog ahead of new submissions, the
+// adaptive coalescing cap, and the overloaded bit. Construct with New.
+type Controller struct {
+	cfg Config
+
+	cap       atomic.Int64 // current coalescing cap, read lock-free per pop
+	shed      atomic.Int64
+	decisions atomic.Int64
+
+	mu         sync.Mutex
+	rate       float64 // EWMA apply throughput, edges/second
+	backlog    int64   // edge weight admitted but not yet applied
+	overloaded bool
+
+	met metrics
+}
+
+type metrics struct {
+	decisions  *obs.Counter
+	shed       *obs.Counter
+	estWait    *obs.Gauge
+	capGauge   *obs.Gauge
+	throughput *obs.Gauge
+	backlog    *obs.Gauge
+}
+
+// Metric names exported by this package.
+const (
+	MetricDecisions  = "graphbolt_admission_decisions_total"
+	MetricShed       = "graphbolt_admission_shed_total"
+	MetricEstWait    = "graphbolt_admission_estimated_wait_seconds"
+	MetricBatchCap   = "graphbolt_admission_batch_cap_edges"
+	MetricThroughput = "graphbolt_admission_throughput_edges_per_second"
+	MetricBacklog    = "graphbolt_admission_backlog_edges"
+)
+
+// RegisterMetrics pre-creates the admission metric set in r so the
+// exposition endpoint shows every series (at zero) before the first
+// controller is constructed. Idempotent, nil-safe.
+func RegisterMetrics(r *obs.Registry) {
+	newMetrics(r)
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	if r == nil {
+		return metrics{}
+	}
+	return metrics{
+		decisions: r.Counter(MetricDecisions,
+			"Admission decisions evaluated (admitted + shed)."),
+		shed: r.Counter(MetricShed,
+			"Submissions refused with ErrOverloaded before the queue."),
+		estWait: r.Gauge(MetricEstWait,
+			"Estimated queue wait for the next submission, from backlog and throughput."),
+		capGauge: r.Gauge(MetricBatchCap,
+			"Current adaptive coalescing cap (edges per merged batch)."),
+		throughput: r.Gauge(MetricThroughput,
+			"EWMA apply throughput the controller is working from."),
+		backlog: r.Gauge(MetricBacklog,
+			"Edge weight admitted but not yet applied."),
+	}
+}
+
+// New builds a Controller from cfg, applying package defaults to every
+// zero field.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, rate: cfg.InitialRate, met: newMetrics(cfg.Metrics)}
+	c.cap.Store(int64(clamp(cfg.InitialCap, cfg.FloorEdges, cfg.CeilEdges)))
+	c.met.capGauge.Set(float64(c.cap.Load()))
+	c.met.throughput.Set(cfg.InitialRate)
+	return c
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SLO returns the configured wait budget.
+func (c *Controller) SLO() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.SLO
+}
+
+// Cap returns the current adaptive coalescing cap. Lock-free; the serve
+// loop reads it at every dequeue.
+func (c *Controller) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.cap.Load())
+}
+
+// SetCap resets the adaptive cap to n, clamped into [floor, ceil]. The
+// governor keeps floating it from there.
+func (c *Controller) SetCap(n int) {
+	if c == nil {
+		return
+	}
+	n = clamp(n, c.cfg.FloorEdges, c.cfg.CeilEdges)
+	c.cap.Store(int64(n))
+	c.met.capGauge.Set(float64(n))
+}
+
+// Admit decides whether a submission of the given edge weight may
+// enqueue. deadline, when nonzero, is the caller's context deadline;
+// the wait budget is the smaller of the headroom-scaled SLO and the
+// time remaining until it. On admission the weight is charged to the
+// backlog immediately — call Cancel if the enqueue subsequently fails,
+// or rely on ApplyComplete/Cancel from the apply path otherwise.
+func (c *Controller) Admit(weight int, deadline time.Time) Decision {
+	if c == nil {
+		return Decision{Admitted: true}
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	now := time.Now()
+	budget := time.Duration(float64(c.cfg.SLO) * c.cfg.Headroom)
+	if !deadline.IsZero() {
+		if rem := deadline.Sub(now); rem < budget {
+			budget = rem
+		}
+	}
+
+	c.mu.Lock()
+	// The SLO budget gates on queue wait alone (see estWaitLocked); the
+	// caller's explicit deadline additionally gates on completion — a
+	// submission whose backlog-plus-own apply time overruns the time the
+	// caller has left is doomed, so fail it fast.
+	est := c.estWaitLocked(0)
+	refused := est > budget
+	if !deadline.IsZero() {
+		if total := c.estWaitLocked(int64(weight)); total > deadline.Sub(now) {
+			refused = true
+			if total > est {
+				est = total
+			}
+		}
+	}
+	var dec Decision
+	if refused {
+		dec = Decision{EstimatedWait: est, RetryAfter: c.retryAfterLocked(budget)}
+	} else {
+		c.backlog += int64(weight)
+		dec = Decision{Admitted: true, EstimatedWait: est}
+	}
+	shedCause := c.noteDecisionLocked(dec, est)
+	c.mu.Unlock()
+
+	c.decisions.Add(1)
+	c.met.decisions.Inc()
+	c.met.estWait.Set(est.Seconds())
+	if !dec.Admitted {
+		c.shed.Add(1)
+		c.met.shed.Inc()
+	} else {
+		c.met.backlog.Set(float64(c.Backlog()))
+	}
+	if shedCause != nil && c.cfg.OnStateChange != nil {
+		c.cfg.OnStateChange(true, shedCause)
+	}
+	return dec
+}
+
+// estWaitLocked estimates the queue wait a submission would face:
+// extra weight (0 from Admit) plus the backlog already admitted ahead
+// of it, over the drain rate. The submission's OWN weight is
+// deliberately excluded — admission gates on the wait shedding can
+// actually change; a batch whose own apply time exceeds the budget
+// would otherwise shed forever on an empty queue (waiting never
+// shrinks the batch), freezing the rate EWMA and livelocking a
+// retrying producer.
+func (c *Controller) estWaitLocked(weight int64) time.Duration {
+	return time.Duration(float64(c.backlog+weight) / c.rate * float64(time.Second))
+}
+
+// retryAfterLocked estimates when a retry would fit the budget: the
+// time to drain the excess backlog, floored at MinRetryAfter and
+// capped at 8×SLO so a huge transient backlog still yields a usable
+// hint.
+func (c *Controller) retryAfterLocked(budget time.Duration) time.Duration {
+	fits := int64(budget.Seconds() * c.rate) // backlog that would fit the budget
+	excess := c.backlog - fits
+	after := time.Duration(float64(excess) / c.rate * float64(time.Second))
+	if after < c.cfg.MinRetryAfter {
+		after = c.cfg.MinRetryAfter
+	}
+	if max := 8 * c.cfg.SLO; after > max {
+		after = max
+	}
+	return after
+}
+
+// noteDecisionLocked updates the overloaded bit on a shed; it returns
+// the cause to report when this decision entered the overloaded state.
+func (c *Controller) noteDecisionLocked(dec Decision, est time.Duration) error {
+	if dec.Admitted || c.overloaded {
+		return nil
+	}
+	c.overloaded = true
+	return fmt.Errorf("admission shedding: estimated wait %v exceeds budget (SLO %v)",
+		est.Round(time.Millisecond), c.cfg.SLO)
+}
+
+// Cancel returns admitted-but-never-applied weight to the pool: a
+// failed enqueue, a quarantined batch, or a batch failed at shutdown.
+func (c *Controller) Cancel(weight int) {
+	if c == nil {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	c.mu.Lock()
+	c.backlog -= int64(weight)
+	if c.backlog < 0 {
+		c.backlog = 0
+	}
+	bl := c.backlog
+	c.mu.Unlock()
+	c.met.backlog.Set(float64(bl))
+}
+
+// ApplyComplete reports one finished apply call: the merged batch's
+// edge weight and how long the apply took. It feeds the throughput
+// EWMA, releases the weight from the backlog, runs the coalescing
+// governor, and clears the overloaded bit once the estimated wait has
+// fallen back under exitFrac·SLO.
+func (c *Controller) ApplyComplete(weight int, took time.Duration) {
+	if c == nil {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if took <= 0 {
+		took = time.Microsecond
+	}
+	sample := float64(weight) / took.Seconds()
+
+	c.mu.Lock()
+	c.rate = c.cfg.Alpha*sample + (1-c.cfg.Alpha)*c.rate
+	c.backlog -= int64(weight)
+	if c.backlog < 0 {
+		c.backlog = 0
+	}
+	est := c.estWaitLocked(0)
+
+	// Governor: widen under pressure, narrow once drained; the band
+	// between the thresholds holds the cap steady.
+	cap := int(c.cap.Load())
+	switch {
+	case est > time.Duration(widenFrac*float64(c.cfg.SLO)):
+		cap = clamp(cap*2, c.cfg.FloorEdges, c.cfg.CeilEdges)
+	case est < time.Duration(narrowFrac*float64(c.cfg.SLO)):
+		cap = clamp(cap/2, c.cfg.FloorEdges, c.cfg.CeilEdges)
+	}
+	c.cap.Store(int64(cap))
+
+	left := false
+	if c.overloaded && est <= time.Duration(exitFrac*float64(c.cfg.SLO)) {
+		c.overloaded = false
+		left = true
+	}
+	rate, bl := c.rate, c.backlog
+	c.mu.Unlock()
+
+	c.met.throughput.Set(rate)
+	c.met.backlog.Set(float64(bl))
+	c.met.estWait.Set(est.Seconds())
+	c.met.capGauge.Set(float64(cap))
+	if left && c.cfg.OnStateChange != nil {
+		c.cfg.OnStateChange(false, nil)
+	}
+}
+
+// EstimatedWait returns the current estimate of the wait a minimal
+// submission would face.
+func (c *Controller) EstimatedWait() time.Duration {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.estWaitLocked(0)
+}
+
+// Rate returns the current throughput estimate (edges/second).
+func (c *Controller) Rate() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
+
+// Backlog returns the edge weight admitted but not yet applied.
+func (c *Controller) Backlog() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backlog
+}
+
+// Overloaded reports whether the controller is currently shedding with
+// hysteresis engaged.
+func (c *Controller) Overloaded() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overloaded
+}
+
+// Shed returns the number of submissions refused so far.
+func (c *Controller) Shed() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shed.Load()
+}
+
+// Decisions returns the number of Admit evaluations so far.
+func (c *Controller) Decisions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.decisions.Load()
+}

@@ -41,6 +41,26 @@ type Policy struct {
 	Source func() float64
 }
 
+// Sleep blocks for d or until done is closed, whichever comes first,
+// reporting whether the full delay elapsed (false means interrupted).
+// It is the supervisor-side companion to Delay: recovery loops sleep
+// through it so a Close can interrupt an arbitrarily long backoff
+// promptly instead of waiting the delay out. A non-positive d returns
+// true immediately without consulting done.
+func Sleep(d time.Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
 // Delay returns the delay before retry number attempt (0-based).
 // Negative attempts are treated as 0.
 func (p Policy) Delay(attempt int) time.Duration {

@@ -1,6 +1,7 @@
 package backoff
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -71,5 +72,92 @@ func TestNegativeAttemptTreatedAsZero(t *testing.T) {
 	p := Policy{Base: 10 * time.Millisecond, Jitter: -1}
 	if got := p.Delay(-5); got != 10*time.Millisecond {
 		t.Fatalf("Delay(-5) = %v, want Base", got)
+	}
+}
+
+// TestDelayProperties drives randomized policies through the invariants
+// the serve layer's heal path leans on:
+//
+//   - jitter never pushes a delay past the cap (Max is a hard bound);
+//   - delays are monotonically bounded: with jitter disabled, Delay is
+//     non-decreasing in the attempt number and saturates at Max;
+//   - delays are never negative.
+func TestDelayProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		p := Policy{
+			Base:   time.Duration(1 + rng.Int63n(int64(time.Second))),
+			Max:    time.Duration(1 + rng.Int63n(int64(10*time.Second))),
+			Factor: 1 + 3*rng.Float64(),
+			Jitter: rng.Float64(),
+			Source: rng.Float64,
+		}
+		for attempt := 0; attempt < 40; attempt++ {
+			d := p.Delay(attempt)
+			if d < 0 {
+				t.Fatalf("trial %d: Delay(%d) = %v < 0 (policy %+v)", trial, attempt, d, p)
+			}
+			// The cap binds even when it is below Base: the grown delay
+			// clamps down to it, jitter included.
+			if d > p.Max {
+				t.Fatalf("trial %d: Delay(%d) = %v exceeds Max %v (policy %+v)", trial, attempt, d, p.Max, p)
+			}
+		}
+
+		// Monotonicity is a property of the pre-jitter growth curve.
+		flat := p
+		flat.Jitter = -1
+		prev := time.Duration(-1)
+		for attempt := 0; attempt < 40; attempt++ {
+			d := flat.Delay(attempt)
+			if d < prev {
+				t.Fatalf("trial %d: Delay(%d) = %v < Delay(%d) = %v (policy %+v)",
+					trial, attempt, d, attempt-1, prev, flat)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestSleepElapses: an uninterrupted Sleep waits the full delay out.
+func TestSleepElapses(t *testing.T) {
+	done := make(chan struct{})
+	start := time.Now()
+	if !Sleep(10*time.Millisecond, done) {
+		t.Fatal("Sleep reported interruption with done never closed")
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 10ms", elapsed)
+	}
+}
+
+// TestSleepInterruptsPromptly: closing done mid-sleep wakes Sleep far
+// before the delay elapses — the property the serve loop's Close relies
+// on to interrupt an hour-long recovery backoff.
+func TestSleepInterruptsPromptly(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	start := time.Now()
+	if Sleep(time.Hour, done) {
+		t.Fatal("interrupted Sleep reported a full elapse")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Sleep took %v to notice the close, want prompt wakeup", elapsed)
+	}
+}
+
+// TestSleepClosedDone: an already-closed done interrupts immediately,
+// and a non-positive delay elapses without consulting done.
+func TestSleepClosedDone(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	if Sleep(time.Hour, done) {
+		t.Fatal("Sleep with closed done reported a full elapse")
+	}
+	if !Sleep(0, done) || !Sleep(-time.Second, done) {
+		t.Fatal("non-positive Sleep must elapse immediately even with done closed")
 	}
 }

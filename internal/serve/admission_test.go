@@ -1,0 +1,229 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/graph"
+	"repro/internal/health"
+	"repro/internal/serve"
+)
+
+// slowAdmission is a config whose assumed throughput (1000 edges/s) and
+// SLO (10ms, headroom 0.8 → 8ms budget → 8 edges of backlog ahead of a
+// submission) make shed thresholds exact and deterministic while the
+// stub applier's gate is closed: no apply completes, so no throughput
+// sample perturbs the rate.
+func slowAdmission() *admission.Config {
+	return &admission.Config{SLO: 10 * time.Millisecond, InitialRate: 1000}
+}
+
+func eventually(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionShedsOverloaded drives a loop into overload: with the
+// apply gate closed, admitted weight accumulates until the estimated
+// wait blows the SLO budget, at which point Submit sheds with a
+// *RetryableError wrapping ErrOverloaded, the health tracker flips to
+// Overloaded, and — once the gate opens and the backlog drains — the
+// loop returns to Healthy on its own.
+func TestAdmissionShedsOverloaded(t *testing.T) {
+	s := newStubApplier()
+	tr := health.NewTracker(nil)
+	l := serve.NewLoop(s, serve.Options{
+		Admission: slowAdmission(),
+		Health:    tr,
+		Logger:    slog.New(slog.DiscardHandler),
+	})
+	gateOpen := false
+	defer func() {
+		if !gateOpen {
+			close(s.gate) // an early Fatal must not deadlock Close behind the gate
+		}
+		l.Close(nil)
+	}()
+
+	// 5 edges in flight: the first submission sees an empty queue and is
+	// always admissible; its weight stays charged while the gate is shut.
+	queueFirstBatch(t, l, s, addBatch(edge(0, 1), edge(0, 2), edge(0, 3), edge(0, 4), edge(0, 5)))
+	// 4 more queued behind 5ms of estimated wait: inside the 8ms budget.
+	tk2, err := l.Submit(nil, addBatch(edge(1, 2), edge(1, 3), edge(1, 4), edge(1, 5)))
+	if err != nil {
+		t.Fatalf("second submit refused: %v", err)
+	}
+	// 9 edges of backlog ahead mean a 9ms queue wait: shed.
+	_, err = l.Submit(nil, addBatch(edge(2, 3), edge(2, 4), edge(2, 5), edge(2, 6)))
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("third submit err = %v, want ErrOverloaded", err)
+	}
+	var re *serve.RetryableError
+	if !errors.As(err, &re) || re.After <= 0 || re.Detail == "" {
+		t.Fatalf("shed error lacks retry shape: %#v", err)
+	}
+	if after, ok := serve.RetryAfter(err); !ok || after != re.After {
+		t.Fatalf("RetryAfter(err) = %v, %v; want %v, true", after, ok, re.After)
+	}
+	if got := l.Admission().Shed(); got != 1 {
+		t.Fatalf("Shed() = %d, want 1", got)
+	}
+	if tr.State() != health.Overloaded {
+		t.Fatalf("health = %v, want Overloaded", tr.State())
+	}
+
+	// Drain: the instant applies push the throughput EWMA up, the
+	// estimated wait collapses, and the controller exits overload.
+	gateOpen = true
+	close(s.gate)
+	a, err := tk2.Wait(nil)
+	if err != nil {
+		t.Fatalf("queued batch failed: %v", err)
+	}
+	if a.QueueWait <= 0 {
+		t.Fatalf("Applied.QueueWait = %v, want > 0 for a batch that waited", a.QueueWait)
+	}
+	eventually(t, "health to return to Healthy", func() bool { return tr.State() == health.Healthy })
+	if l.Admission().Overloaded() {
+		t.Fatal("controller still overloaded after drain")
+	}
+
+	// Shedding is over: an equally sized submission is admitted again.
+	tk, err := l.Submit(nil, addBatch(edge(3, 4), edge(3, 5), edge(3, 6), edge(3, 7)))
+	if err != nil {
+		t.Fatalf("submit after drain refused: %v", err)
+	}
+	if _, err := tk.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionDeadlineTightensBudget: a context deadline tighter than
+// the SLO budget sheds work the SLO alone would admit.
+func TestAdmissionDeadlineTightensBudget(t *testing.T) {
+	s := newStubApplier()
+	close(s.gate)
+	l := serve.NewLoop(s, serve.Options{
+		Admission: slowAdmission(),
+		Logger:    slog.New(slog.DiscardHandler),
+	})
+	defer l.Close(nil)
+
+	// 6 edges on an empty queue: zero queue wait, trivially inside the
+	// SLO budget — but completion (own apply ≈ 6ms) overruns a ~2ms
+	// deadline, and the deadline gate charges the batch's own weight.
+	// Use an absolute deadline far enough out that ctx.Err() is still
+	// nil when Submit checks it.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(2*time.Millisecond))
+	defer cancel()
+	_, err := l.Submit(ctx, addBatch(edge(0, 1), edge(0, 2), edge(0, 3), edge(0, 4), edge(0, 5), edge(0, 6)))
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("deadline submit err = %v, want ErrOverloaded", err)
+	}
+
+	// The same batch with no deadline is admitted.
+	tk, err := l.Submit(nil, addBatch(edge(0, 1), edge(0, 2), edge(0, 3), edge(0, 4), edge(0, 5), edge(0, 6)))
+	if err != nil {
+		t.Fatalf("no-deadline submit refused: %v", err)
+	}
+	if _, err := tk.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionPrecedence: a closed loop refuses with ErrClosed, never
+// ErrOverloaded — terminal refusals outrank shedding.
+func TestAdmissionPrecedence(t *testing.T) {
+	s := newStubApplier()
+	close(s.gate)
+	l := serve.NewLoop(s, serve.Options{
+		Admission: slowAdmission(),
+		Logger:    slog.New(slog.DiscardHandler),
+	})
+	if err := l.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.Submit(nil, addBatch(edge(0, 1)))
+	if !errors.Is(err, serve.ErrClosed) || errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("submit after close err = %v, want ErrClosed", err)
+	}
+}
+
+// TestQueueFullIsRetryable: the Reject policy's queue-full refusal
+// carries the same retryable shape as an admission shed.
+func TestQueueFullIsRetryable(t *testing.T) {
+	s := newStubApplier()
+	l := serve.NewLoop(s, serve.Options{QueueDepth: 1, Policy: serve.Reject})
+	defer func() { close(s.gate); l.Close(nil) }()
+
+	queueFirstBatch(t, l, s, addBatch(edge(0, 1)))
+	if _, err := l.Submit(nil, addBatch(edge(0, 2))); err != nil {
+		t.Fatalf("submit into free slot refused: %v", err)
+	}
+	_, err := l.Submit(nil, addBatch(edge(0, 3)))
+	if !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	after, ok := serve.RetryAfter(err)
+	if !ok || after <= 0 {
+		t.Fatalf("RetryAfter = %v, %v; want positive hint", after, ok)
+	}
+}
+
+// TestQuarantineReleasesAdmittedWeight: a quarantined batch's weight
+// must leave the backlog, or the controller would count phantom work
+// forever and keep shedding.
+func TestQuarantineReleasesAdmittedWeight(t *testing.T) {
+	s := newStubApplier()
+	close(s.gate)
+	l := serve.NewLoop(s, serve.Options{
+		Admission: slowAdmission(),
+		Logger:    slog.New(slog.DiscardHandler),
+	})
+	defer l.Close(nil)
+
+	bad := graph.Batch{Add: []graph.Edge{{From: 0, To: graph.MaxVertexID + 1, Weight: 1}}}
+	tk, err := l.Submit(nil, bad)
+	if err != nil {
+		t.Fatalf("poison submit rejected eagerly: %v", err)
+	}
+	if _, err := tk.Wait(nil); !errors.Is(err, graph.ErrInvalidBatch) {
+		t.Fatalf("ticket err = %v, want ErrInvalidBatch", err)
+	}
+	eventually(t, "backlog to drop to zero", func() bool { return l.Admission().Backlog() == 0 })
+}
+
+// TestLoopCapFollowsController: MaxBatchEdges reads the governor's cap
+// when admission is on, and SetMaxBatchEdges round-trips with clamping.
+func TestLoopCapFollowsController(t *testing.T) {
+	s := newStubApplier()
+	close(s.gate)
+	l := serve.NewLoop(s, serve.Options{
+		MaxBatchEdges: 1000,
+		Admission:     &admission.Config{FloorEdges: 100, CeilEdges: 2000},
+		Logger:        slog.New(slog.DiscardHandler),
+	})
+	defer l.Close(nil)
+
+	if got := l.MaxBatchEdges(); got != 1000 {
+		t.Fatalf("initial cap = %d, want the seeded MaxBatchEdges 1000", got)
+	}
+	l.SetMaxBatchEdges(50) // below the floor: clamps up
+	if got := l.MaxBatchEdges(); got != 100 {
+		t.Fatalf("cap after SetMaxBatchEdges(50) = %d, want floor 100", got)
+	}
+	l.SetMaxBatchEdges(5000) // above the ceiling: clamps down
+	if got := l.MaxBatchEdges(); got != 2000 {
+		t.Fatalf("cap after SetMaxBatchEdges(5000) = %d, want ceiling 2000", got)
+	}
+}

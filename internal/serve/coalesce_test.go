@@ -3,7 +3,9 @@ package serve_test
 import (
 	"math"
 	"testing"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -121,6 +123,101 @@ func TestCoalescingEquivalenceSSSP(t *testing.T) {
 		return e
 	}
 	checkCoalescingEquivalence(t, s.Batches, newEngine, 1e-9)
+}
+
+// capCycler wraps an engine and resets the loop's coalescing cap to the
+// next value in a fixed cycle after every apply call, so consecutive
+// merge runs are cut at different sizes — including a cap of 1, smaller
+// than any batch, which disables merging for that run entirely. It runs
+// only on the apply goroutine; the loop reference is set before the
+// first Submit.
+type capCycler struct {
+	inner serve.Applier
+	loop  *serve.Loop
+	caps  []int
+	i     int
+}
+
+func (c *capCycler) ApplyBatch(b graph.Batch) (core.Stats, error) {
+	st, err := c.inner.ApplyBatch(b)
+	c.loop.SetMaxBatchEdges(c.caps[c.i%len(c.caps)])
+	c.i++
+	return st, err
+}
+
+// TestCoalescingEquivalenceChangingCap: the BSP-equivalence guarantee
+// must be insensitive to WHERE the cap slices the queue into merge
+// runs. The cap cycles through extremes between applies — exactly what
+// the adaptive governor does under load — and the final values must
+// still match sequential application. Runs once against the static-cap
+// path (SetMaxBatchEdges on the atomic) and once with an admission
+// controller, where the cap lives in the governor and keeps floating
+// between the cycler's resets.
+func TestCoalescingEquivalenceChangingCap(t *testing.T) {
+	edges := gen.RMAT(53, 120, 900, gen.WeightUniform)
+	s, err := stream.FromEdges(120, edges, stream.Config{BatchSize: 40, DeleteFraction: 0.3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEngine := func() *core.Engine[float64, float64] {
+		e, err := core.NewEngine[float64, float64](s.Base, algorithms.NewPageRank(), core.Options{MaxIterations: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	want := newEngine()
+	want.Run()
+	for _, b := range s.Batches {
+		if _, err := want.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name string
+		adm  *admission.Config
+	}{
+		{"static-cap", nil},
+		// SLO and rate chosen so admission never sheds: this case is
+		// about the governor owning the cap, not about load shedding.
+		{"governor-cap", &admission.Config{FloorEdges: 1, CeilEdges: 1 << 20, SLO: time.Hour, InitialRate: 1e12}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := newEngine()
+			got.Run()
+			ga := &gatedEngine{inner: got, entered: make(chan struct{}, 1), gate: make(chan struct{})}
+			cc := &capCycler{inner: ga, caps: []int{1, 80, 1 << 20, 160}}
+			l := serve.NewLoop(cc, serve.Options{
+				QueueDepth:    len(s.Batches) + 1,
+				MaxBatchEdges: 1 << 20,
+				Admission:     tc.adm,
+			})
+			cc.loop = l
+			if _, err := l.Submit(nil, s.Batches[0]); err != nil {
+				t.Fatal(err)
+			}
+			<-ga.entered // loop is inside apply #1; the rest will queue up
+			for _, b := range s.Batches[1:] {
+				if _, err := l.Submit(nil, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			close(ga.gate)
+			if err := l.Close(nil); err != nil {
+				t.Fatal(err)
+			}
+			valuesMatch(t, got.Values(), want.Values(), 1e-6, "changing-cap equivalence")
+			if g, w := got.Graph().NumEdges(), want.Graph().NumEdges(); g != w {
+				t.Fatalf("changing-cap graph has %d edges, sequential has %d", g, w)
+			}
+			if seq := l.Seq(); seq >= uint64(len(s.Batches)) || seq < 2 {
+				t.Fatalf("loop made %d applies for %d batches: cap cycle produced no variation",
+					seq, len(s.Batches))
+			}
+		})
+	}
 }
 
 // TestCoalescingEquivalenceAddOnly: with no deletions every queued

@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -107,6 +108,9 @@ const (
 // Typed failure sentinels, for errors.Is.
 var (
 	// ErrQueueFull reports a Submit rejected under the Reject policy.
+	// The error actually returned wraps this sentinel in a
+	// *RetryableError carrying a RetryAfter hint: match with
+	// errors.Is(err, ErrQueueFull), extract the hint with RetryAfter.
 	ErrQueueFull = errors.New("serve: mutation queue full")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("serve: apply loop closed")
@@ -114,7 +118,65 @@ var (
 	// being repaired. Reads stay available; the submission can be
 	// retried once recovery completes.
 	ErrDegraded = errors.New("serve: engine degraded, writes disabled")
+	// ErrOverloaded reports a Submit shed by admission control: the
+	// estimated time-to-apply for the current backlog cannot meet the
+	// configured SLO or the caller's context deadline, so the request
+	// fails fast instead of blocking into a doomed wait. Like
+	// ErrQueueFull it is returned wrapped in a *RetryableError whose
+	// RetryAfter says when an equally sized submission is expected to
+	// fit; match with errors.Is(err, ErrOverloaded).
+	ErrOverloaded = errors.New("serve: overloaded, admission refused")
 )
+
+// DefaultRetryAfter is the backoff hint attached to retryable refusals
+// when no admission controller is present to estimate a better one.
+const DefaultRetryAfter = 25 * time.Millisecond
+
+// RetryableError is the shared shape of load-induced refusals
+// (ErrQueueFull, ErrOverloaded): a sentinel for errors.Is plus a
+// client backoff hint. Both conditions are transient by construction —
+// the queue drains, the backlog shrinks — so clients handle them
+// uniformly: back off RetryAfter, then resubmit.
+type RetryableError struct {
+	// Sentinel is ErrQueueFull or ErrOverloaded.
+	Sentinel error
+	// After is the suggested backoff before resubmitting. Always
+	// positive.
+	After time.Duration
+	// Detail optionally elaborates the refusal (estimated wait, SLO).
+	Detail string
+}
+
+// Error formats the sentinel with the hint and detail.
+func (e *RetryableError) Error() string {
+	msg := fmt.Sprintf("%v (retry after %v)", e.Sentinel, e.After)
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *RetryableError) Unwrap() error { return e.Sentinel }
+
+// RetryAfter returns the suggested client backoff.
+func (e *RetryableError) RetryAfter() time.Duration { return e.After }
+
+// RetryAfter extracts the backoff hint from a Submit error, reporting
+// whether err (or anything it wraps) is a retryable refusal. Callers
+// back off uniformly:
+//
+//	if after, ok := serve.RetryAfter(err); ok {
+//	    time.Sleep(after)
+//	    // resubmit
+//	}
+func RetryAfter(err error) (time.Duration, bool) {
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return re.After, true
+	}
+	return 0, false
+}
 
 // Options configures a Loop.
 type Options struct {
@@ -125,8 +187,23 @@ type Options struct {
 	// MaxBatchEdges caps the total edge count (Add+Del) of a coalesced
 	// batch; merging stops at the cap. A single submitted batch larger
 	// than the cap is still applied whole — batches are never split.
-	// Default DefaultMaxBatchEdges.
+	// Default DefaultMaxBatchEdges. With Admission set this is only the
+	// starting point: the governor floats the effective cap between the
+	// configured floor and ceiling. SetMaxBatchEdges adjusts it at
+	// runtime either way.
 	MaxBatchEdges int
+
+	// Admission, when non-nil, enables deadline-aware admission control
+	// and the adaptive coalescing governor: Submit estimates the
+	// time-to-apply for the current backlog and sheds with ErrOverloaded
+	// (wrapped in a *RetryableError) when the configured SLO or the
+	// caller's context deadline cannot be met, and the coalescing cap
+	// floats with observed load. The config's zero fields take the
+	// admission package defaults; its Metrics and InitialCap fall back
+	// to this Options' Metrics and MaxBatchEdges. Overload episodes are
+	// published to Health as the Overloaded state, without ever
+	// overriding Degraded or Failed.
+	Admission *admission.Config
 
 	// DisableCoalescing applies every submitted batch individually.
 	DisableCoalescing bool
@@ -209,6 +286,9 @@ type Applied struct {
 	Batches int
 	// Stats is the engine work the apply reported.
 	Stats core.Stats
+	// QueueWait is the longest time any batch merged into this apply
+	// spent queued before the apply call started.
+	QueueWait time.Duration
 	// Err is the failure delivered to this ticket, if any: a quarantined
 	// batch's validation error, ErrDegraded when the loop shut down
 	// before recovery completed, or the loop's terminal failure.
@@ -266,6 +346,8 @@ type Loop struct {
 	applier Applier
 	opts    Options
 	met     loopMetrics
+	ctl     *admission.Controller // nil unless Options.Admission is set
+	capEdge atomic.Int64          // effective coalescing cap without a controller
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -295,18 +377,90 @@ func NewLoop(a Applier, opts Options) *Loop {
 		closeCh: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	l.capEdge.Store(int64(opts.MaxBatchEdges))
+	if opts.Admission != nil {
+		cfg := *opts.Admission
+		if cfg.Metrics == nil {
+			cfg.Metrics = opts.Metrics
+		}
+		if cfg.InitialCap <= 0 {
+			cfg.InitialCap = opts.MaxBatchEdges
+		}
+		// Overload episodes surface through the health tracker, guarded
+		// so they never override a Degraded or Failed state owned by the
+		// recovery supervisor; the user's hook still sees every flip.
+		userHook := cfg.OnStateChange
+		tracker, logger := opts.Health, opts.logger()
+		cfg.OnStateChange = func(overloaded bool, cause error) {
+			if overloaded {
+				if tracker.Transition(health.Healthy, health.Overloaded, cause) {
+					logger.Warn("graphbolt: entering overloaded state", "cause", cause)
+				}
+			} else if tracker.Transition(health.Overloaded, health.Healthy, nil) {
+				logger.Info("graphbolt: backlog drained, leaving overloaded state")
+			}
+			if userHook != nil {
+				userHook(overloaded, cause)
+			}
+		}
+		l.ctl = admission.New(cfg)
+	}
 	l.cond = sync.NewCond(&l.mu)
 	go l.run()
 	return l
 }
 
+// Admission returns the loop's admission controller, nil when admission
+// control is off. The nil controller is inert and safe to call.
+func (l *Loop) Admission() *admission.Controller { return l.ctl }
+
+// MaxBatchEdges returns the current effective coalescing cap: the
+// governor's floating cap when admission is enabled, the static cap
+// otherwise.
+func (l *Loop) MaxBatchEdges() int {
+	if l.ctl != nil {
+		return l.ctl.Cap()
+	}
+	return int(l.capEdge.Load())
+}
+
+// SetMaxBatchEdges adjusts the coalescing cap at runtime. With
+// admission enabled it resets the governor's cap (clamped into its
+// floor/ceiling band), from where the governor keeps floating it; a
+// non-positive n is ignored. Batches already merged are unaffected.
+func (l *Loop) SetMaxBatchEdges(n int) {
+	if n <= 0 {
+		return
+	}
+	if l.ctl != nil {
+		l.ctl.SetCap(n)
+		return
+	}
+	l.capEdge.Store(int64(n))
+}
+
+// batchWeight is the admission-control weight of a batch: its total
+// edge count, floored at 1 so empty batches still cost a queue slot's
+// worth of accounting.
+func batchWeight(b graph.Batch) int {
+	if n := len(b.Add) + len(b.Del); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // Submit enqueues a batch. Under the Block policy it waits for queue
-// space (bounded by ctx); under Reject it fails fast with ErrQueueFull.
-// The returned Ticket resolves when the batch's apply call completes;
-// fire-and-forget callers may discard it. Batch validation happens at
-// dequeue, on the apply goroutine: a malformed batch resolves its
-// ticket with the validation error and is quarantined rather than
-// failing the loop.
+// space (bounded by ctx); under Reject it fails fast with ErrQueueFull
+// (wrapped in a *RetryableError carrying a backoff hint). The returned
+// Ticket resolves when the batch's apply call completes; fire-and-forget
+// callers may discard it. Batch validation happens at dequeue, on the
+// apply goroutine: a malformed batch resolves its ticket with the
+// validation error and is quarantined rather than failing the loop.
+//
+// With admission control enabled (Options.Admission), Submit first
+// estimates the time-to-apply for the current backlog and sheds with a
+// *RetryableError wrapping ErrOverloaded — before touching the queue —
+// when the SLO or ctx's deadline cannot be met.
 //
 // A nil ctx means no deadline; an already-cancelled ctx returns its
 // error without enqueuing under either policy. Submitting after Close
@@ -318,23 +472,53 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 			return nil, err
 		}
 	}
+	w := batchWeight(b)
+	admitted := false
+	if l.ctl != nil {
+		// Refusals that outrank overload — closed, degraded, terminal —
+		// are checked first so shedding never masks them.
+		l.mu.Lock()
+		err := l.submitErrLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		var deadline time.Time
+		if ctx != nil {
+			deadline, _ = ctx.Deadline()
+		}
+		dec := l.ctl.Admit(w, deadline)
+		if !dec.Admitted {
+			return nil, &RetryableError{
+				Sentinel: ErrOverloaded,
+				After:    dec.RetryAfter,
+				Detail: fmt.Sprintf("estimated wait %v against SLO %v",
+					dec.EstimatedWait.Round(time.Millisecond), l.ctl.SLO()),
+			}
+		}
+		admitted = true
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.opts.Policy == Reject {
 		if err := l.submitErrLocked(); err != nil {
+			l.cancelAdmit(admitted, w)
 			return nil, err
 		}
 		if len(l.q) >= l.opts.QueueDepth {
 			l.met.rejected.Inc()
-			return nil, ErrQueueFull
+			l.cancelAdmit(admitted, w)
+			return nil, l.queueFullErr()
 		}
 	} else {
 		if err := l.awaitLocked(ctx, func() bool {
 			return l.submitErrLocked() != nil || len(l.q) < l.opts.QueueDepth
 		}); err != nil {
+			l.cancelAdmit(admitted, w)
 			return nil, err
 		}
 		if err := l.submitErrLocked(); err != nil {
+			l.cancelAdmit(admitted, w)
 			return nil, err
 		}
 	}
@@ -345,6 +529,28 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 	l.met.depth.Set(float64(len(l.q)))
 	l.cond.Broadcast()
 	return t, nil
+}
+
+// cancelAdmit returns weight charged by a successful Admit whose
+// enqueue then failed. The controller's lock is a leaf, so calling it
+// under l.mu is safe.
+func (l *Loop) cancelAdmit(admitted bool, w int) {
+	if admitted {
+		l.ctl.Cancel(w)
+	}
+}
+
+// queueFullErr builds the wrapped ErrQueueFull refusal. The backoff
+// hint is the admission controller's backlog drain estimate scaled to
+// one queue slot when available, DefaultRetryAfter otherwise.
+func (l *Loop) queueFullErr() error {
+	after := DefaultRetryAfter
+	if l.ctl != nil && l.opts.QueueDepth > 0 {
+		if per := l.ctl.EstimatedWait() / time.Duration(l.opts.QueueDepth); per > 0 {
+			after = per
+		}
+	}
+	return &RetryableError{Sentinel: ErrQueueFull, After: after}
 }
 
 // submitErrLocked returns why new submissions are refused, or nil.
@@ -505,6 +711,7 @@ func (l *Loop) run() {
 			l.cond.Broadcast()
 			l.mu.Unlock()
 			for _, p := range failQ {
+				l.ctl.Cancel(batchWeight(p.b))
 				p.t.done <- Applied{Err: failure}
 			}
 			return
@@ -524,22 +731,29 @@ func (l *Loop) run() {
 			l.mu.Unlock()
 			l.opts.logger().Warn("graphbolt: batch quarantined",
 				"submission", p.seq, "error", err)
+			l.ctl.Cancel(batchWeight(p.b))
 			p.t.done <- Applied{Seq: attempt, Batches: 1, Err: rejErr}
 			continue
 		}
-		batch, tickets, waits := l.popLocked()
+		batch, tickets, waits, weight := l.popLocked()
 		l.inflight = true
 		l.met.depth.Set(float64(len(l.q)))
 		attempt := l.seq + 1
 		l.mu.Unlock()
 
+		var maxWait time.Duration
 		for _, w := range waits {
 			l.met.queueWait.Observe(w.Seconds())
+			if w > maxWait {
+				maxWait = w
+			}
 		}
+		start := time.Now()
 		st, err := l.applyWithRecovery(batch, attempt)
+		took := time.Since(start)
 
 		l.mu.Lock()
-		res := Applied{Seq: attempt, Batches: len(tickets), Stats: st, Err: err}
+		res := Applied{Seq: attempt, Batches: len(tickets), Stats: st, QueueWait: maxWait, Err: err}
 		l.inflight = false
 		switch {
 		case err == nil:
@@ -563,6 +777,16 @@ func (l *Loop) run() {
 		cb := l.opts.OnApply
 		l.cond.Broadcast()
 		l.mu.Unlock()
+
+		// Feed the controller outside l.mu: its state-change callback runs
+		// health hooks that may call back into the loop. A successful
+		// apply both releases the backlog weight and contributes a
+		// throughput sample; failures just release the weight.
+		if err == nil {
+			l.ctl.ApplyComplete(weight, took)
+		} else {
+			l.ctl.Cancel(weight)
+		}
 
 		for _, t := range tickets {
 			t.done <- res
@@ -652,19 +876,18 @@ func (l *Loop) supervise(rec Recoverer, cause error) bool {
 	for attempt := 0; ; attempt++ {
 		delay := l.opts.Backoff.Delay(attempt)
 		l.met.recoveryBackoff.Observe(delay.Seconds())
-		select {
-		case <-l.closeCh:
-		case <-time.After(delay):
-			l.met.recoveryAttempts.Inc()
-			if err := rec.Recover(); err != nil {
-				l.opts.Health.Set(health.Degraded, err) // refresh the cause
-				l.mu.Lock()
-				l.degraded = fmt.Errorf("%w: %v", ErrDegraded, err)
-				l.mu.Unlock()
-				continue
-			}
-			healed = true
+		if !backoff.Sleep(delay, l.closeCh) {
+			break // Close interrupted the backoff
 		}
+		l.met.recoveryAttempts.Inc()
+		if err := rec.Recover(); err != nil {
+			l.opts.Health.Set(health.Degraded, err) // refresh the cause
+			l.mu.Lock()
+			l.degraded = fmt.Errorf("%w: %v", ErrDegraded, err)
+			l.mu.Unlock()
+			continue
+		}
+		healed = true
 		break
 	}
 	if !healed {
@@ -685,12 +908,15 @@ func (l *Loop) supervise(rec Recoverer, cause error) bool {
 type edgeKey struct{ from, to graph.VertexID }
 
 // popLocked dequeues the next batch and, unless coalescing is disabled,
-// merges compatible successors up to the size cap. It returns the batch
-// to apply, the tickets it covers, and each batch's time in queue.
-// The head batch has been validated by the caller; a candidate that
-// fails validation ends the merge run so it reaches the head of the
-// queue — and the quarantine — on its own. l.mu must be held.
-func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration) {
+// merges compatible successors up to the size cap — read through
+// MaxBatchEdges, so the governor's floating cap takes effect on the
+// very next merge run. It returns the batch to apply, the tickets it
+// covers, each batch's time in queue, and the total admission weight of
+// the merged batches. The head batch has been validated by the caller;
+// a candidate that fails validation ends the merge run so it reaches
+// the head of the queue — and the quarantine — on its own. l.mu must be
+// held.
+func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration, int) {
 	now := time.Now()
 	first := l.q[0]
 	l.q[0] = pending{}
@@ -698,16 +924,18 @@ func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration) {
 	acc := first.b
 	tickets := []*Ticket{first.t}
 	waits := []time.Duration{now.Sub(first.enqueued)}
+	weight := batchWeight(acc)
 	if l.opts.DisableCoalescing {
-		return acc, tickets, waits
+		return acc, tickets, waits, weight
 	}
 
+	capEdges := l.MaxBatchEdges()
 	size := len(acc.Add) + len(acc.Del)
 	var addKeys map[edgeKey]struct{}
 	merged := false
 	for len(l.q) > 0 {
 		nb := l.q[0].b
-		if size+len(nb.Add)+len(nb.Del) > l.opts.MaxBatchEdges {
+		if size+len(nb.Add)+len(nb.Del) > capEdges {
 			break
 		}
 		if nb.Validate() != nil {
@@ -737,12 +965,13 @@ func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration) {
 			addKeys[edgeKey{e.From, e.To}] = struct{}{}
 		}
 		size += len(nb.Add) + len(nb.Del)
+		weight += batchWeight(nb)
 		tickets = append(tickets, l.q[0].t)
 		waits = append(waits, now.Sub(l.q[0].enqueued))
 		l.q[0] = pending{}
 		l.q = l.q[1:]
 	}
-	return acc, tickets, waits
+	return acc, tickets, waits, weight
 }
 
 // delHitsPendingAdd reports whether any deletion targets an edge key the

@@ -3,6 +3,7 @@ package graphbolt
 import (
 	"net/http"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/health"
@@ -52,6 +53,7 @@ func EnableMetrics() *MetricsRegistry {
 	serve.RegisterMetrics(reg)
 	qcache.RegisterMetrics(reg)
 	health.RegisterMetrics(reg)
+	admission.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }

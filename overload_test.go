@@ -1,0 +1,289 @@
+package graphbolt_test
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	graphbolt "repro"
+	"repro/internal/admission"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// TestOverloadSoak drives an open-loop burst — a producer submitting as
+// fast as it can, far beyond the apply loop's throughput — against a
+// server with admission control and asserts the overload contract end
+// to end:
+//
+//   - queue waits stay bounded: the p99 queue wait across every apply
+//     call is under the SLO, because admission sheds the work it cannot
+//     start within the budget instead of queueing it;
+//   - shed submissions fail fast with ErrOverloaded wrapped in a
+//     *RetryableError carrying a positive RetryAfter hint;
+//   - the adaptive coalescing governor both widens the batch cap under
+//     backlog and narrows it once drained, observed through the
+//     graphbolt_admission_batch_cap_edges gauge;
+//   - health walks Healthy → Overloaded → Healthy, never Degraded or
+//     Failed;
+//   - the final values equal a from-scratch ModeReset run over exactly
+//     the admitted batches — shedding never corrupts the BSP guarantee.
+//
+// Run it under the race detector via `make overload`; -short shrinks
+// the warmup and shed quota for CI.
+func TestOverloadSoak(t *testing.T) {
+	warmup, cooldown, shedTarget := 20, 14, 40
+	if testing.Short() {
+		warmup, cooldown, shedTarget = 10, 10, 8
+	}
+	const (
+		nVerts   = 1000
+		slo      = 400 * time.Millisecond
+		maxBurst = 40000
+	)
+
+	edges := gen.RMAT(99, nVerts, 16000, gen.WeightUniform)
+	strm, err := stream.FromEdges(nVerts, edges, stream.Config{BatchSize: 16, DeleteFraction: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strm.Batches) == 0 {
+		t.Fatal("stream yielded no batches")
+	}
+	// The burst may need more batches than the stream holds: cycle. The
+	// graph is a multigraph, so re-adding an edge is a distinct instance
+	// and the ModeReset baseline replays the identical admitted list.
+	batchAt := func(i int) graphbolt.Batch { return strm.Batches[i%len(strm.Batches)] }
+
+	eng, err := graphbolt.NewEngine[float64, float64](strm.Base, graphbolt.NewPageRank(),
+		graphbolt.Options{MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		waitMu    sync.Mutex
+		waits     []time.Duration
+		applyErrs []error
+	)
+	reg := graphbolt.NewMetricsRegistry()
+	srv := graphbolt.NewServer(eng, graphbolt.ServerOptions{
+		// Deep queue (in batches) so the SLO binds long before the queue
+		// bound: this soak is about shedding, not Block backpressure.
+		QueueDepth:    1 << 15,
+		MaxBatchEdges: 256, // seeds the adaptive cap; floats from here
+		Admission: &graphbolt.AdmissionOptions{
+			SLO:        slo,
+			FloorEdges: 64,
+			CeilEdges:  8192,
+			// Extra margin under the race detector and noisy CI: fill
+			// only 60% of the SLO so realized waits clear it with room.
+			Headroom: 0.6,
+		},
+		Metrics: reg,
+		Logger:  slog.New(slog.DiscardHandler),
+		OnApply: func(ap graphbolt.Applied) {
+			waitMu.Lock()
+			waits = append(waits, ap.QueueWait)
+			if ap.Err != nil {
+				applyErrs = append(applyErrs, ap.Err)
+			}
+			waitMu.Unlock()
+		},
+	})
+
+	type hop struct{ from, to graphbolt.HealthState }
+	var (
+		hopMu sync.Mutex
+		hops  []hop
+	)
+	srv.Health().OnTransition(func(from, to graphbolt.HealthState, cause error) {
+		hopMu.Lock()
+		hops = append(hops, hop{from, to})
+		hopMu.Unlock()
+	})
+
+	capGauge := func() float64 { return reg.Snapshot().Gauges[admission.MetricBatchCap] }
+
+	ctx := context.Background()
+	var admitted []graphbolt.Batch
+	idx := 0
+	totalSheds := 0 // every producer-observed shed, all phases
+
+	// submitClosed is the well-behaved closed-loop producer: on a shed
+	// it honors the hint and resubmits (a slow machine can push a single
+	// apply's duration into the budget transiently); anything else fails.
+	submitClosed := func(label string, i int) {
+		t.Helper()
+		b := batchAt(idx)
+		for {
+			_, err := srv.SubmitWait(ctx, b)
+			if err == nil {
+				admitted = append(admitted, b)
+				idx++
+				return
+			}
+			if after, ok := graphbolt.RetryAfter(err); ok {
+				totalSheds++
+				time.Sleep(after)
+				continue
+			}
+			t.Fatalf("%s submit %d: %v", label, i, err)
+		}
+	}
+
+	// Warmup, closed loop at zero backlog: the throughput EWMA converges
+	// on the engine's real apply rate before the burst leans on it.
+	for i := 0; i < warmup; i++ {
+		submitClosed("warmup", i)
+	}
+
+	// Burst, open loop: submit with no pacing for a sustained wall-clock
+	// window (and at least until shedTarget sheds), so the backlog keeps
+	// refilling to the budget at the controller's CURRENT rate estimate
+	// as coalescing pushes it up — that sustained pressure is what makes
+	// the governor widen the cap. Every refusal must carry the full
+	// retryable shape. A shed batch is retried on the next iteration
+	// (idx does not advance), mimicking a producer that
+	// drops-and-regenerates.
+	burstDur := 2 * time.Second
+	if testing.Short() {
+		burstDur = time.Second
+	}
+	capBefore := capGauge()
+	capPeak := capBefore
+	sheds := 0
+	burstEnd := time.Now().Add(burstDur)
+	for i := 0; (time.Now().Before(burstEnd) || sheds < shedTarget) && i < maxBurst; i++ {
+		if i%32 == 0 {
+			if c := capGauge(); c > capPeak {
+				capPeak = c
+			}
+		}
+		b := batchAt(idx)
+		_, err := srv.Submit(ctx, b)
+		if err == nil {
+			admitted = append(admitted, b)
+			idx++
+			continue
+		}
+		if !errors.Is(err, graphbolt.ErrOverloaded) {
+			t.Fatalf("burst submit %d failed with %v, want ErrOverloaded", i, err)
+		}
+		var re *graphbolt.RetryableError
+		if !errors.As(err, &re) || re.After <= 0 {
+			t.Fatalf("shed error lacks a positive RetryAfter: %#v", err)
+		}
+		if after, ok := graphbolt.RetryAfter(err); !ok || after != re.After {
+			t.Fatalf("RetryAfter(err) = %v, %v; want %v, true", after, ok, re.After)
+		}
+		sheds++
+		totalSheds++
+	}
+	if sheds < shedTarget {
+		t.Fatalf("open-loop burst of %d submissions shed only %d times, want %d", maxBurst, sheds, shedTarget)
+	}
+	if got := srv.Admission().Shed(); got != int64(totalSheds) {
+		t.Fatalf("controller counted %d sheds, producer saw %d", got, totalSheds)
+	}
+
+	// Drain, still sampling the cap gauge: the governor must have
+	// widened the cap at some point while the backlog was deep.
+	drainDeadline := time.Now().Add(60 * time.Second)
+	for srv.QueueDepth() > 0 {
+		if c := capGauge(); c > capPeak {
+			capPeak = c
+		}
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("queue never drained: depth %d", srv.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := srv.Sync(ctx); err != nil {
+		t.Fatalf("sync after burst: %v", err)
+	}
+	if c := capGauge(); c > capPeak {
+		capPeak = c
+	}
+	if capPeak <= capBefore {
+		t.Fatalf("cap gauge never widened: before burst %v, peak %v", capBefore, capPeak)
+	}
+
+	// Cooldown, closed loop again: with the backlog gone the governor
+	// narrows the cap back down.
+	for i := 0; i < cooldown; i++ {
+		submitClosed("cooldown", i)
+	}
+	if capAfter := capGauge(); capAfter >= capPeak {
+		t.Fatalf("cap gauge never narrowed: peak %v, after cooldown %v", capPeak, capAfter)
+	}
+
+	// Health walked Healthy → Overloaded → Healthy and nothing else.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Health().State() != graphbolt.HealthHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not return to Healthy: %+v", srv.Health().Info())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hopMu.Lock()
+	var entered, left bool
+	for _, h := range hops {
+		switch {
+		case h.from == graphbolt.HealthHealthy && h.to == graphbolt.HealthOverloaded:
+			entered = true
+		case h.from == graphbolt.HealthOverloaded && h.to == graphbolt.HealthHealthy:
+			left = true
+		default:
+			t.Fatalf("unexpected health transition %v -> %v", h.from, h.to)
+		}
+	}
+	hopMu.Unlock()
+	if !entered || !left {
+		t.Fatalf("health transitions missing overload round-trip: %v", hops)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("loop reported terminal failure: %v", err)
+	}
+
+	// Bounded waits: p99 queue wait under the SLO across every apply.
+	waitMu.Lock()
+	if len(applyErrs) != 0 {
+		t.Fatalf("%d applies failed, first: %v", len(applyErrs), applyErrs[0])
+	}
+	allWaits := append([]time.Duration(nil), waits...)
+	waitMu.Unlock()
+	if len(allWaits) == 0 {
+		t.Fatal("no applies recorded")
+	}
+	sort.Slice(allWaits, func(i, j int) bool { return allWaits[i] < allWaits[j] })
+	p99 := allWaits[len(allWaits)*99/100]
+	if p99 >= slo {
+		t.Fatalf("p99 queue wait %v >= SLO %v (max %v over %d applies)",
+			p99, slo, allWaits[len(allWaits)-1], len(allWaits))
+	}
+
+	finalSnap := srv.Snapshot()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// BSP equivalence over exactly the admitted batches: a from-scratch
+	// ModeReset run that never saw the burst or the sheds must agree.
+	fresh, err := graphbolt.NewEngine[float64, float64](strm.Base, graphbolt.NewPageRank(),
+		graphbolt.Options{Mode: graphbolt.ModeReset, MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Run()
+	for i, b := range admitted {
+		if _, err := fresh.ApplyBatch(b); err != nil {
+			t.Fatalf("baseline batch %d: %v", i+1, err)
+		}
+	}
+	valuesClose(t, finalSnap.Values, fresh.Values(), 1e-6, "admitted stream vs from-scratch")
+}

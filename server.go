@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/health"
@@ -36,7 +37,9 @@ const (
 
 // Ingest failure sentinels, for errors.Is.
 var (
-	// ErrQueueFull reports a Submit rejected under SubmitReject.
+	// ErrQueueFull reports a Submit rejected under SubmitReject. The
+	// returned error wraps this sentinel in a *RetryableError carrying a
+	// backoff hint; extract it with RetryAfter.
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrServerClosed reports a Submit or Wait after Close.
 	ErrServerClosed = serve.ErrClosed
@@ -45,7 +48,37 @@ var (
 	// faulted and recovery is being retried in the background. Reads
 	// keep working; resubmit after the server returns to HealthHealthy.
 	ErrDegraded = serve.ErrDegraded
+	// ErrOverloaded reports a Submit shed by admission control
+	// (ServerOptions.Admission): the estimated time-to-apply for the
+	// current backlog cannot meet the SLO or the caller's deadline. Like
+	// ErrQueueFull it arrives wrapped in a *RetryableError whose
+	// RetryAfter says when to resubmit.
+	ErrOverloaded = serve.ErrOverloaded
 )
+
+// RetryableError is the shared shape of load-induced Submit refusals
+// (ErrQueueFull, ErrOverloaded): a sentinel for errors.Is plus a
+// suggested client backoff. See RetryAfter.
+type RetryableError = serve.RetryableError
+
+// RetryAfter extracts the backoff hint from a Submit error, reporting
+// whether the error is a retryable (load-induced, transient) refusal:
+//
+//	if after, ok := graphbolt.RetryAfter(err); ok {
+//	    time.Sleep(after)
+//	    // resubmit
+//	}
+func RetryAfter(err error) (time.Duration, bool) { return serve.RetryAfter(err) }
+
+// AdmissionOptions configures deadline-aware admission control and the
+// adaptive coalescing governor; set it on ServerOptions.Admission. The
+// zero value of every field takes the documented default.
+type AdmissionOptions = admission.Config
+
+// AdmissionController exposes the live admission state — throughput
+// estimate, backlog, adaptive batch cap, shed counts; obtain a
+// server's via Server.Admission.
+type AdmissionController = admission.Controller
 
 // HealthState is the server's coarse operating state.
 type HealthState = health.State
@@ -58,6 +91,10 @@ const (
 	HealthDegraded = health.Degraded
 	// HealthFailed: the apply loop died; engine state is undefined.
 	HealthFailed = health.Failed
+	// HealthOverloaded: reads and admitted writes both still serving,
+	// but admission control is shedding excess load with ErrOverloaded.
+	// Clears on its own once the backlog drains.
+	HealthOverloaded = health.Overloaded
 )
 
 // HealthInfo is a point-in-time health report: state, cause (nil when
@@ -89,8 +126,17 @@ type ServerOptions struct {
 	// Default serve.DefaultQueueDepth (64).
 	QueueDepth int
 	// MaxBatchEdges caps the edge count of a coalesced batch. Default
-	// serve.DefaultMaxBatchEdges (4096).
+	// serve.DefaultMaxBatchEdges (4096). With Admission set this only
+	// seeds the adaptive cap, which then floats with observed load.
 	MaxBatchEdges int
+	// Admission, when non-nil, enables deadline-aware admission control:
+	// Submit sheds with ErrOverloaded (wrapped in a *RetryableError)
+	// when the estimated time-to-apply for the backlog cannot meet the
+	// configured SLO or the submission's context deadline, the
+	// coalescing cap adapts to load, and overload episodes surface as
+	// HealthOverloaded. &AdmissionOptions{} enables it with defaults
+	// (500ms SLO).
+	Admission *AdmissionOptions
 	// DisableCoalescing applies every submitted batch individually.
 	DisableCoalescing bool
 	// Policy selects SubmitBlock (default) or SubmitReject.
@@ -191,6 +237,7 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 	s.loop = serve.NewLoop(a, serve.Options{
 		QueueDepth:        opts.QueueDepth,
 		MaxBatchEdges:     opts.MaxBatchEdges,
+		Admission:         opts.Admission,
 		DisableCoalescing: opts.DisableCoalescing,
 		Policy:            opts.Policy,
 		Metrics:           reg,
@@ -353,6 +400,21 @@ func (s *Server[V, A]) Sync(ctx context.Context) (*ResultSnapshot[V], error) {
 // apply loop.
 func (s *Server[V, A]) QueueDepth() int { return s.loop.Depth() }
 
+// Admission returns the server's admission controller, nil unless
+// ServerOptions.Admission was set. The nil controller is inert and
+// safe to call.
+func (s *Server[V, A]) Admission() *AdmissionController { return s.loop.Admission() }
+
+// MaxBatchEdges returns the current effective coalescing cap: the
+// admission governor's floating cap when admission is on, the
+// configured static cap otherwise.
+func (s *Server[V, A]) MaxBatchEdges() int { return s.loop.MaxBatchEdges() }
+
+// SetMaxBatchEdges adjusts the coalescing cap at runtime (clamped into
+// the admission floor/ceiling band when admission is on; non-positive
+// values are ignored).
+func (s *Server[V, A]) SetMaxBatchEdges(n int) { s.loop.SetMaxBatchEdges(n) }
+
 // Err returns the ingest loop's terminal failure, or nil. After a
 // terminal failure the wrapped engine must be discarded; a durable
 // engine can be reopened from its checkpoint and journal. Degraded
@@ -361,13 +423,15 @@ func (s *Server[V, A]) Err() error { return s.loop.Err() }
 
 // Health returns the server's health tracker. Its State method reports
 // HealthHealthy, HealthDegraded (reads serving, writes failing fast
-// while recovery retries) or HealthFailed (terminal); OnTransition
-// registers hooks for state changes.
+// while recovery retries), HealthOverloaded (admission shedding excess
+// load) or HealthFailed (terminal); OnTransition registers hooks for
+// state changes.
 func (s *Server[V, A]) Health() *HealthTracker { return s.health }
 
 // HealthHandler returns an http.Handler serving the server's health as
-// JSON ({"state","cause","since"}); it answers 200 while Healthy or
-// Degraded and 503 once Failed, so it suits both liveness and, via the
+// JSON ({"state","cause","since"}); it answers 200 while Healthy,
+// Degraded or Overloaded and 503 once Failed, so it suits both
+// liveness and, via the
 // body, readiness checks. Mount it alongside the metrics mux:
 //
 //	mux := obs.HandlerWith(reg, map[string]http.Handler{
