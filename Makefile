@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 COVER_FLOOR_core  = 70
 COVER_FLOOR_serve = 70
 
-.PHONY: build test check check-race race vet fmt bench fuzz cover chaos overload
+.PHONY: build test check check-race race vet fmt bench fuzz cover chaos overload flight
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,17 @@ chaos:
 # over the admitted batches. OVERLOAD_FLAGS=-short shrinks it for CI.
 overload:
 	$(GO) test -race -run TestOverloadSoak -v $(OVERLOAD_FLAGS) .
+
+# flight runs the flight-recorder smoke under the race detector: the
+# end-to-end acceptance test (deterministic coalescing, a scripted fsync
+# failure forcing a Degraded dump, /debug/flight filtered by trace), the
+# trace-merge property test (every accepted submission's trace ID lands
+# in exactly one applied trace set, under governor-cap changes, sheds and
+# quarantine), the lock-free ring torture tests, and the <5% recorder
+# apply-latency overhead check. FLIGHT_FLAGS=-short shrinks it for CI.
+flight:
+	$(GO) test -race -run TestFlightRecorder -v $(FLIGHT_FLAGS) .
+	$(GO) test -race -run 'TestTrace|TestRing|TestSnapshotConsistent' ./internal/flight/ ./internal/serve/
 
 # fuzz runs every fuzz target for FUZZTIME each (Go only allows one
 # -fuzz pattern per invocation). The seed corpora alone run in `make

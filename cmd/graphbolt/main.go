@@ -48,6 +48,16 @@
 //
 //	graphbolt -graph base.el -stream stream.el -serve -admission -slo 200ms
 //
+// With -flight, every batch gets a trace ID at submission and the
+// flight recorder keeps the last -flight-depth lifecycle events
+// (admission, queueing, coalescing, journaling with fsync latency,
+// apply, publication) in a lock-free ring. The ring is dumped to the
+// log on any transition to degraded/failed and whenever a batch's
+// end-to-end latency exceeds the admission SLO, and is served as JSON
+// at /debug/flight (filter with ?trace=ID, ?kind=NAME, ?dump=last):
+//
+//	graphbolt -graph base.el -stream stream.el -serve -admission -flight
+//
 // Progress is logged with log/slog, one line per event (load, recovery,
 // initial run, each applied batch); -log-format selects text or JSON.
 // Result output (-top, -validate) stays on stdout.
@@ -71,6 +81,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/flight"
 	"repro/internal/graph"
 	"repro/internal/health"
 	"repro/internal/obs"
@@ -83,31 +94,33 @@ import (
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "base graph edge-list file (required)")
-		streamPath = flag.String("stream", "", "mutation stream file (optional)")
-		algo       = flag.String("algo", "pagerank", "pagerank | labelprop | coem | bp | cf | sssp | bfs | cc | triangles")
-		mode       = flag.String("mode", "graphbolt", "graphbolt | graphbolt-rp | reset | ligra | naive")
-		iterations = flag.Int("iterations", 10, "BSP iterations")
-		horizon    = flag.Int("horizon", 0, "horizontal pruning cut-off (0 = iterations)")
-		source     = flag.Uint("source", 0, "source vertex for sssp/bfs")
-		top        = flag.Int("top", 5, "print the top-k vertices by value")
-		validate   = flag.Bool("validate", false, "after the stream, cross-check against a from-scratch run")
-		walDir     = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints (enables durability + crash recovery)")
-		ckptEvery  = flag.Int("checkpoint-every", 10, "batches between automatic checkpoints (with -wal-dir; 0 = only journal)")
-		syncMode   = flag.String("sync", "every", "journal sync policy: every | interval | none (with -wal-dir)")
-		metricsAt  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
-		logFormat  = flag.String("log-format", "text", "progress log format: text | json")
-		trace      = flag.Bool("trace", false, "log a line per engine phase (run, refine, hybrid, checkpoint, ...)")
-		serveMode  = flag.Bool("serve", false, "ingest the stream through the concurrent serving facade while -readers goroutines query snapshots")
-		readers    = flag.Int("readers", 4, "concurrent snapshot readers in -serve mode")
-		queueDepth = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default)")
-		retain     = flag.Int("retain", 1, "published generations kept addressable for point-in-time reads (SnapshotAt)")
-		queryCache = flag.Int64("query-cache", 0, "per-generation query cache budget in bytes for -serve mode (0 = off)")
-		applyDl    = flag.Duration("apply-deadline", 0, "watchdog deadline per apply call in -serve mode (0 = off); exceeding it logs and raises graphbolt_serve_stuck_applies")
-		admitMode  = flag.Bool("admission", false, "enable deadline-aware admission control and the adaptive coalescing governor in -serve mode")
-		slo        = flag.Duration("slo", 0, "admission SLO: bound on a submission's estimated queue wait (0 = default 500ms; with -admission)")
-		batchFloor = flag.Int("batch-floor", 0, "adaptive coalescing cap floor in edges (0 = default 256; with -admission)")
-		batchCeil  = flag.Int("batch-ceil", 0, "adaptive coalescing cap ceiling in edges (0 = default 65536; with -admission)")
+		graphPath   = flag.String("graph", "", "base graph edge-list file (required)")
+		streamPath  = flag.String("stream", "", "mutation stream file (optional)")
+		algo        = flag.String("algo", "pagerank", "pagerank | labelprop | coem | bp | cf | sssp | bfs | cc | triangles")
+		mode        = flag.String("mode", "graphbolt", "graphbolt | graphbolt-rp | reset | ligra | naive")
+		iterations  = flag.Int("iterations", 10, "BSP iterations")
+		horizon     = flag.Int("horizon", 0, "horizontal pruning cut-off (0 = iterations)")
+		source      = flag.Uint("source", 0, "source vertex for sssp/bfs")
+		top         = flag.Int("top", 5, "print the top-k vertices by value")
+		validate    = flag.Bool("validate", false, "after the stream, cross-check against a from-scratch run")
+		walDir      = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints (enables durability + crash recovery)")
+		ckptEvery   = flag.Int("checkpoint-every", 10, "batches between automatic checkpoints (with -wal-dir; 0 = only journal)")
+		syncMode    = flag.String("sync", "every", "journal sync policy: every | interval | none (with -wal-dir)")
+		metricsAt   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:9090)")
+		logFormat   = flag.String("log-format", "text", "progress log format: text | json")
+		trace       = flag.Bool("trace", false, "log a line per engine phase (run, refine, hybrid, checkpoint, ...)")
+		serveMode   = flag.Bool("serve", false, "ingest the stream through the concurrent serving facade while -readers goroutines query snapshots")
+		readers     = flag.Int("readers", 4, "concurrent snapshot readers in -serve mode")
+		queueDepth  = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default)")
+		retain      = flag.Int("retain", 1, "published generations kept addressable for point-in-time reads (SnapshotAt)")
+		queryCache  = flag.Int64("query-cache", 0, "per-generation query cache budget in bytes for -serve mode (0 = off)")
+		applyDl     = flag.Duration("apply-deadline", 0, "watchdog deadline per apply call in -serve mode (0 = off); exceeding it logs and raises graphbolt_serve_stuck_applies")
+		admitMode   = flag.Bool("admission", false, "enable deadline-aware admission control and the adaptive coalescing governor in -serve mode")
+		slo         = flag.Duration("slo", 0, "admission SLO: bound on a submission's estimated queue wait (0 = default 500ms; with -admission)")
+		batchFloor  = flag.Int("batch-floor", 0, "adaptive coalescing cap floor in edges (0 = default 256; with -admission)")
+		batchCeil   = flag.Int("batch-ceil", 0, "adaptive coalescing cap ceiling in edges (0 = default 65536; with -admission)")
+		flightOn    = flag.Bool("flight", false, "enable the batch-lifecycle flight recorder: trace IDs on every batch, /debug/flight, dumps on degrade and slow batches")
+		flightDepth = flag.Int("flight-depth", 0, "flight recorder ring capacity in events (0 = default 4096; with -flight)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -135,17 +148,29 @@ func main() {
 		qcache.RegisterMetrics(reg)
 		health.RegisterMetrics(reg)
 		admission.RegisterMetrics(reg)
+		flight.RegisterMetrics(reg)
 		parallel.SetMetrics(reg)
+	}
+	// The recorder is built before the metrics mux so /debug/flight can
+	// serve it from the start; with -flight off the nil recorder is inert
+	// and its route answers 404.
+	var rec *flight.Recorder
+	if *flightOn {
+		rec = flight.New(flight.Options{Depth: *flightDepth, Logger: logger, Metrics: reg})
+		logger.Info("flight recorder enabled", "depth", rec.Depth())
+	}
+	if *metricsAt != "" {
 		ln, err := net.Listen("tcp", *metricsAt)
 		if err != nil {
 			fatal("metrics listener: %v", err)
 		}
 		logger.Info("metrics", "addr", ln.Addr().String(),
-			"endpoints", "/metrics /metrics.json /healthz /debug/vars /debug/pprof/")
+			"endpoints", "/metrics /metrics.json /healthz /debug/flight /debug/vars /debug/pprof/")
 		mux := obs.HandlerWith(reg, map[string]http.Handler{
 			"/healthz": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 				health.Handler(healthProxy.Load()).ServeHTTP(w, r)
 			}),
+			"/debug/flight": rec.Handler(),
 		})
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
@@ -160,6 +185,11 @@ func main() {
 	if *trace {
 		sinks = append(sinks, obs.SlogSink{Logger: logger})
 	}
+	if rec != nil {
+		// Engine phase spans land in the flight ring too, stamped with
+		// whatever trace is on the apply path.
+		sinks = append(sinks, rec)
+	}
 	tracer := obs.NewTracer(sinks...)
 
 	var dcfg *durableConfig
@@ -168,7 +198,7 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy, metrics: reg, tracer: tracer, log: logger}
+		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy, metrics: reg, tracer: tracer, flight: rec, log: logger}
 	}
 
 	f, err := os.Open(*graphPath)
@@ -244,6 +274,7 @@ func main() {
 			metrics:       reg,
 			logger:        logger,
 			health:        &healthProxy,
+			flight:        rec,
 		}
 		if *admitMode {
 			sc.admission = &graphbolt.AdmissionOptions{
@@ -347,6 +378,7 @@ type serveConfig struct {
 	metrics       *obs.Registry
 	logger        *slog.Logger
 	health        *atomic.Pointer[health.Tracker]
+	flight        *flight.Recorder // nil unless -flight
 }
 
 // durableConfig carries the -wal-dir flag family plus the process-wide
@@ -357,6 +389,7 @@ type durableConfig struct {
 	sync    wal.SyncPolicy
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+	flight  *flight.Recorder
 	log     *slog.Logger
 }
 
@@ -380,6 +413,7 @@ func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.St
 			WAL:             wal.Options{Sync: cfg.sync},
 			Metrics:         cfg.metrics,
 			Tracer:          cfg.tracer,
+			Flight:          cfg.flight,
 		})
 		if err != nil {
 			fatal("durable: %v", err)
@@ -413,6 +447,7 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 		ApplyDeadline:   sc.applyDeadline,
 		Admission:       sc.admission,
 		Logger:          logger,
+		Flight:          sc.flight,
 		// Resuming an interrupted stream relies on journal seq == stream
 		// position (skip = d.Seq() above), so the durable path must
 		// journal exactly one record per stream batch.
@@ -423,6 +458,7 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 			appliedBatches.Add(int64(ap.Batches))
 			logger.Info("batches applied",
 				"seq", ap.Seq,
+				"trace", ap.Trace.ID,
 				"coalesced", ap.Batches,
 				"iterations", ap.Stats.Iterations,
 				"refine_iterations", ap.Stats.RefineIterations,
@@ -534,6 +570,13 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 			"producer_backoffs", sheds,
 			"final_batch_cap", ctl.Cap(),
 			"throughput_edges_per_sec", int64(ctl.Rate()))
+	}
+	if fr := srv.Flight(); fr != nil {
+		logger.Info("flight summary",
+			"events", fr.Events(),
+			"dropped", fr.Dropped(),
+			"dumps", fr.Dumps(),
+			"slow_batches", fr.SlowBatches())
 	}
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -72,6 +73,11 @@ type Options struct {
 	// Tracer, when non-nil, receives "recovery" and "checkpoint" phase
 	// spans.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives journaled/journal-failed lifecycle
+	// events (with append latency, stamped with the trace the serve loop
+	// marked active) and is propagated to the WAL unless WAL.Flight is
+	// already set, so fsync events land in the same ring.
+	Flight *flight.Recorder
 }
 
 // RecoveryInfo describes how Open reconstructed the engine state.
@@ -139,6 +145,9 @@ func Open[V, A any](eng *core.Engine[V, A], dir string, opts Options) (*Engine[V
 	}
 	if opts.WAL.Metrics == nil {
 		opts.WAL.Metrics = opts.Metrics
+	}
+	if opts.WAL.Flight == nil {
+		opts.WAL.Flight = opts.Flight
 	}
 	w, err := wal.Open(filepath.Join(dir, walFile), opts.WAL)
 	if err != nil {
@@ -257,10 +266,13 @@ func (d *Engine[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
 		return core.Stats{}, fmt.Errorf("durable: %w", err)
 	}
 	seq := d.seq + 1
+	jStart := time.Now()
 	if err := d.w.Append(seq, b); err != nil {
+		d.opts.Flight.Journal(seq, time.Since(jStart), true)
 		d.ailment = err
 		return core.Stats{}, err
 	}
+	d.opts.Flight.Journal(seq, time.Since(jStart), false)
 	st, err := d.eng.ApplyBatch(b)
 	if err != nil {
 		if uerr := d.w.Unappend(); uerr != nil {

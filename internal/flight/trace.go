@@ -1,0 +1,143 @@
+package flight
+
+import (
+	"sync"
+	"time"
+)
+
+// Phases is the per-phase latency breakdown of one applied batch — the
+// per-batch processing-time decomposition of the paper's §6 evaluation,
+// measured from our own pipeline. Journal and Apply are disjoint: Apply
+// is the engine refinement time with the WAL append subtracted out.
+type Phases struct {
+	// QueueWait is Submit-enqueue to dequeue for the head batch.
+	QueueWait time.Duration `json:"queue_wait"`
+	// Coalesce is the time spent folding sibling batches into the head.
+	Coalesce time.Duration `json:"coalesce"`
+	// Validate is edge validation time at dequeue.
+	Validate time.Duration `json:"validate"`
+	// Journal is WAL append time (including fsync) charged during the
+	// apply call.
+	Journal time.Duration `json:"journal"`
+	// Apply is engine refinement time, excluding Journal.
+	Apply time.Duration `json:"apply"`
+	// Publish is from apply return to snapshot publication and ticket
+	// resolution.
+	Publish time.Duration `json:"publish"`
+}
+
+// Total sums the phases; for a completed trace it is within scheduling
+// noise of CompletedAt.Sub(EnqueuedAt).
+func (p Phases) Total() time.Duration {
+	return p.QueueWait + p.Coalesce + p.Validate + p.Journal + p.Apply + p.Publish
+}
+
+// BatchTrace is the completed lifecycle record of one apply: the head
+// batch's trace plus every sibling trace coalesced into it.
+type BatchTrace struct {
+	// ID is the head batch's trace ID (assigned at Submit).
+	ID uint64 `json:"id"`
+	// Traces lists every trace ID covered by this apply, head first; a
+	// lone batch has exactly [ID].
+	Traces []uint64 `json:"traces"`
+	// Seq is the apply sequence number (generation), 0 when the batch
+	// never applied (quarantine, terminal failure).
+	Seq uint64 `json:"seq,omitempty"`
+	// Batches is the number of submitted batches folded into the apply.
+	Batches int `json:"batches"`
+	// EnqueuedAt is when the head batch entered the queue.
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	// CompletedAt is when the result was published (or the batch was
+	// rejected terminally).
+	CompletedAt time.Time `json:"completed_at"`
+	// Err is the terminal error string, empty on success.
+	Err string `json:"err,omitempty"`
+	// Phases is the per-phase latency breakdown.
+	Phases Phases `json:"phases"`
+}
+
+// E2E is the observed end-to-end latency, enqueue to publication.
+func (bt BatchTrace) E2E() time.Duration {
+	return bt.CompletedAt.Sub(bt.EnqueuedAt)
+}
+
+// Covers reports whether id is the head trace or one of the coalesced
+// siblings.
+func (bt BatchTrace) Covers(id uint64) bool {
+	for _, t := range bt.Traces {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+// traceLog retains the last N completed BatchTraces, indexed by every
+// trace ID they cover, so Server.Trace(id) answers for coalesced
+// siblings too.
+type traceLog struct {
+	mu   sync.Mutex
+	ring []BatchTrace
+	next int
+	full bool
+	byID map[uint64]int // trace ID -> ring index
+}
+
+func (tl *traceLog) init(depth int) {
+	tl.ring = make([]BatchTrace, depth)
+	tl.byID = make(map[uint64]int, depth)
+}
+
+func (tl *traceLog) add(bt BatchTrace) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	idx := tl.next
+	if tl.full {
+		// Evict the overwritten entry's ID index.
+		for _, id := range tl.ring[idx].Traces {
+			if tl.byID[id] == idx {
+				delete(tl.byID, id)
+			}
+		}
+	}
+	tl.ring[idx] = bt
+	for _, id := range bt.Traces {
+		tl.byID[id] = idx
+	}
+	tl.next++
+	if tl.next == len(tl.ring) {
+		tl.next = 0
+		tl.full = true
+	}
+}
+
+func (tl *traceLog) get(id uint64) (BatchTrace, bool) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	idx, ok := tl.byID[id]
+	if !ok {
+		return BatchTrace{}, false
+	}
+	return tl.ring[idx], true
+}
+
+// CompleteTrace records a finished batch lifecycle, making it available
+// through Trace under the head ID and every coalesced sibling ID.
+func (r *Recorder) CompleteTrace(bt BatchTrace) {
+	if r == nil {
+		return
+	}
+	if len(bt.Traces) == 0 {
+		bt.Traces = []uint64{bt.ID}
+	}
+	r.traces.add(bt)
+}
+
+// Trace returns the completed lifecycle covering trace ID id (as head
+// or coalesced sibling), and whether one is retained.
+func (r *Recorder) Trace(id uint64) (BatchTrace, bool) {
+	if r == nil {
+		return BatchTrace{}, false
+	}
+	return r.traces.get(id)
+}

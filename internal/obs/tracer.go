@@ -69,10 +69,12 @@ type SlogSink struct {
 	Level  slog.Level
 }
 
-// Phase implements Sink.
+// Phase implements Sink. The span's start time is logged as a
+// structured attr so phase spans can be time-correlated with other
+// event streams (e.g. flight-recorder dumps) in one log.
 func (s SlogSink) Phase(name string, start time.Time, duration time.Duration) {
 	s.Logger.Log(context.Background(), s.Level, "phase",
-		"name", name, "duration", duration)
+		"name", name, "start", start, "duration", duration)
 }
 
 // RegistrySink aggregates span durations into per-phase latency

@@ -62,8 +62,14 @@ func TestSlogSink(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(&buf, nil))
 	tr := NewTracer(SlogSink{Logger: logger, Level: slog.LevelInfo})
 	tr.StartPhase("checkpoint").End()
-	if out := buf.String(); !strings.Contains(out, "name=checkpoint") || !strings.Contains(out, "duration=") {
+	out := buf.String()
+	if !strings.Contains(out, "name=checkpoint") || !strings.Contains(out, "duration=") {
 		t.Fatalf("slog sink output: %q", out)
+	}
+	// The span start must be a structured attr so phase spans can be
+	// time-correlated with flight dumps in one log stream.
+	if !strings.Contains(out, "start=") {
+		t.Fatalf("slog sink output missing start attr: %q", out)
 	}
 }
 

@@ -62,6 +62,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/backoff"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/graph"
 	"repro/internal/health"
 	"repro/internal/obs"
@@ -249,6 +250,25 @@ type Options struct {
 	// every ApplyBatch returns (success or failure). Keep it fast; it
 	// runs on the write path.
 	OnApply func(Applied)
+
+	// Flight, when non-nil, records every batch's lifecycle — admitted,
+	// shed, enqueued, coalesced, validated, quarantined, applied,
+	// published — into the flight ring, completes a BatchTrace with a
+	// per-phase latency breakdown at publication, and dumps the ring on
+	// transitions to Degraded/Failed (forced) or Overloaded (throttled)
+	// when Health is also set. Trace IDs are assigned at Submit whether
+	// or not a recorder is present; without one they are still returned
+	// on tickets but nothing is recorded.
+	Flight *flight.Recorder
+
+	// SlowBatch is the end-to-end latency (head-batch enqueue to
+	// publication) above which a successful apply is captured as a slow
+	// batch: the recorder takes a throttled dump focused on the batch's
+	// trace and a warning naming the trace ID is logged. Zero defaults
+	// to the admission SLO when Admission is set (the latency the
+	// controller is already promising), otherwise slow-batch capture is
+	// off; negative disables it explicitly. Ignored without Flight.
+	SlowBatch time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -293,6 +313,11 @@ type Applied struct {
 	// batch's validation error, ErrDegraded when the loop shut down
 	// before recovery completed, or the loop's terminal failure.
 	Err error
+	// Trace is the completed lifecycle record for this apply: the head
+	// batch's trace ID, every coalesced sibling's ID, and the per-phase
+	// latency breakdown. Populated whether or not a flight recorder is
+	// configured (trace IDs are loop-owned); Trace.ID is never 0.
+	Trace flight.BatchTrace
 }
 
 // PoisonBatch is one quarantined batch: rejected at dequeue, never
@@ -310,8 +335,14 @@ type PoisonBatch struct {
 
 // Ticket tracks one submitted batch through the loop.
 type Ticket struct {
-	done chan Applied
+	done  chan Applied
+	trace uint64
 }
+
+// Trace returns the batch's trace ID, assigned at Submit. Look the
+// completed lifecycle up with Recorder.Trace (or Server.Trace) after
+// the ticket resolves; the resolved Applied carries it too.
+func (t *Ticket) Trace() uint64 { return t.trace }
 
 // Done returns a channel that receives exactly one Applied once the
 // batch's apply call completes (possibly covering coalesced neighbors).
@@ -335,6 +366,7 @@ type pending struct {
 	b        graph.Batch
 	t        *Ticket
 	seq      uint64 // 1-based submission number
+	trace    uint64 // flight trace ID, assigned at Submit
 	enqueued time.Time
 }
 
@@ -348,6 +380,10 @@ type Loop struct {
 	met     loopMetrics
 	ctl     *admission.Controller // nil unless Options.Admission is set
 	capEdge atomic.Int64          // effective coalescing cap without a controller
+
+	rec        *flight.Recorder // nil-safe; nil records nothing
+	traceSeq   atomic.Uint64    // trace IDs are loop-owned, 1-based
+	slowThresh time.Duration    // e2e latency above which a batch is slow; 0 = off
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -374,6 +410,7 @@ func NewLoop(a Applier, opts Options) *Loop {
 		applier: a,
 		opts:    opts,
 		met:     newLoopMetrics(opts.Metrics),
+		rec:     opts.Flight,
 		closeCh: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -405,10 +442,41 @@ func NewLoop(a Applier, opts Options) *Loop {
 		}
 		l.ctl = admission.New(cfg)
 	}
+	switch {
+	case opts.SlowBatch > 0:
+		l.slowThresh = opts.SlowBatch
+	case opts.SlowBatch == 0 && l.ctl != nil:
+		// The admission SLO is the latency the controller already
+		// promises; exceeding it end-to-end is by definition slow.
+		l.slowThresh = l.ctl.SLO()
+	}
+	if l.rec != nil && opts.Health != nil {
+		// The recorder is the black box: every health transition lands in
+		// the event stream, and the degraded/failed ones — the moments a
+		// postmortem needs the lead-up for — force a dump. Overload flips
+		// can flap under bursty load, so those dumps are throttled.
+		rec := l.rec
+		opts.Health.OnTransition(func(from, to health.State, cause error) {
+			rec.Record(flight.KindHealth, rec.ActiveTrace(), int64(from), int64(to))
+			switch to {
+			case health.Degraded, health.Failed:
+				rec.Dump("health transition "+from.String()+"→"+to.String(), rec.ActiveTrace())
+			case health.Overloaded:
+				rec.TryDump("health transition "+from.String()+"→overloaded", 0)
+			}
+		})
+	}
 	l.cond = sync.NewCond(&l.mu)
 	go l.run()
 	return l
 }
+
+// Flight returns the loop's flight recorder, nil when recording is off.
+func (l *Loop) Flight() *flight.Recorder { return l.rec }
+
+// SlowBatchThreshold returns the effective end-to-end latency above
+// which a batch triggers slow-batch capture (0 when disabled).
+func (l *Loop) SlowBatchThreshold() time.Duration { return l.slowThresh }
 
 // Admission returns the loop's admission controller, nil when admission
 // control is off. The nil controller is inert and safe to call.
@@ -473,6 +541,7 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 		}
 	}
 	w := batchWeight(b)
+	tr := l.traceSeq.Add(1) // the trace is born here, whatever happens next
 	admitted := false
 	if l.ctl != nil {
 		// Refusals that outrank overload — closed, degraded, terminal —
@@ -481,6 +550,7 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 		err := l.submitErrLocked()
 		l.mu.Unlock()
 		if err != nil {
+			l.rec.Record(flight.KindRejected, tr, int64(w), 0)
 			return nil, err
 		}
 		var deadline time.Time
@@ -489,25 +559,29 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 		}
 		dec := l.ctl.Admit(w, deadline)
 		if !dec.Admitted {
+			l.rec.Record(flight.KindShed, tr, int64(w), int64(dec.RetryAfter))
 			return nil, &RetryableError{
 				Sentinel: ErrOverloaded,
 				After:    dec.RetryAfter,
-				Detail: fmt.Sprintf("estimated wait %v against SLO %v",
-					dec.EstimatedWait.Round(time.Millisecond), l.ctl.SLO()),
+				Detail: fmt.Sprintf("trace %d: estimated wait %v against SLO %v",
+					tr, dec.EstimatedWait.Round(time.Millisecond), l.ctl.SLO()),
 			}
 		}
 		admitted = true
 	}
+	l.rec.Record(flight.KindAdmitted, tr, int64(w), 0)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.opts.Policy == Reject {
 		if err := l.submitErrLocked(); err != nil {
 			l.cancelAdmit(admitted, w)
+			l.rec.Record(flight.KindRejected, tr, int64(w), 0)
 			return nil, err
 		}
 		if len(l.q) >= l.opts.QueueDepth {
 			l.met.rejected.Inc()
 			l.cancelAdmit(admitted, w)
+			l.rec.Record(flight.KindRejected, tr, int64(w), 0)
 			return nil, l.queueFullErr()
 		}
 	} else {
@@ -515,18 +589,21 @@ func (l *Loop) Submit(ctx context.Context, b graph.Batch) (*Ticket, error) {
 			return l.submitErrLocked() != nil || len(l.q) < l.opts.QueueDepth
 		}); err != nil {
 			l.cancelAdmit(admitted, w)
+			l.rec.Record(flight.KindRejected, tr, int64(w), 0)
 			return nil, err
 		}
 		if err := l.submitErrLocked(); err != nil {
 			l.cancelAdmit(admitted, w)
+			l.rec.Record(flight.KindRejected, tr, int64(w), 0)
 			return nil, err
 		}
 	}
-	t := &Ticket{done: make(chan Applied, 1)}
+	t := &Ticket{done: make(chan Applied, 1), trace: tr}
 	l.submits++
-	l.q = append(l.q, pending{b: b, t: t, seq: l.submits, enqueued: time.Now()})
+	l.q = append(l.q, pending{b: b, t: t, seq: l.submits, trace: tr, enqueued: time.Now()})
 	l.met.submitted.Inc()
 	l.met.depth.Set(float64(len(l.q)))
+	l.rec.Record(flight.KindEnqueued, tr, int64(len(l.q)), 0)
 	l.cond.Broadcast()
 	return t, nil
 }
@@ -712,30 +789,53 @@ func (l *Loop) run() {
 			l.mu.Unlock()
 			for _, p := range failQ {
 				l.ctl.Cancel(batchWeight(p.b))
-				p.t.done <- Applied{Err: failure}
+				bt := flight.BatchTrace{
+					ID: p.trace, Traces: []uint64{p.trace}, Batches: 1,
+					EnqueuedAt: p.enqueued, CompletedAt: time.Now(),
+				}
+				if failure != nil {
+					bt.Err = failure.Error()
+				}
+				l.rec.CompleteTrace(bt)
+				p.t.done <- Applied{Err: failure, Trace: bt}
 			}
 			return
 		}
 		// Authoritative validation happens here, at the head of the
 		// queue: a poison batch is quarantined and its ticket rejected
 		// without ever reaching the engine — or latching the loop.
-		if err := l.q[0].b.Validate(); err != nil {
+		dequeueAt := time.Now()
+		verr := l.q[0].b.Validate()
+		vDur := time.Since(dequeueAt)
+		if verr != nil {
 			p := l.q[0]
 			l.q[0] = pending{}
 			l.q = l.q[1:]
-			rejErr := fmt.Errorf("serve: batch quarantined: %w", err)
+			rejErr := fmt.Errorf("serve: batch quarantined: %w", verr)
 			l.quarantineLocked(PoisonBatch{Seq: p.seq, Batch: p.b, Err: rejErr, At: time.Now()})
 			attempt := l.seq + 1
 			l.met.depth.Set(float64(len(l.q)))
 			l.cond.Broadcast()
 			l.mu.Unlock()
 			l.opts.logger().Warn("graphbolt: batch quarantined",
-				"submission", p.seq, "error", err)
+				"submission", p.seq, "trace", p.trace, "error", verr)
 			l.ctl.Cancel(batchWeight(p.b))
-			p.t.done <- Applied{Seq: attempt, Batches: 1, Err: rejErr}
+			l.rec.Record(flight.KindQuarantined, p.trace, int64(p.seq), 0)
+			bt := flight.BatchTrace{
+				ID: p.trace, Traces: []uint64{p.trace}, Batches: 1,
+				EnqueuedAt: p.enqueued, CompletedAt: time.Now(), Err: rejErr.Error(),
+				Phases: flight.Phases{QueueWait: dequeueAt.Sub(p.enqueued), Validate: vDur},
+			}
+			l.rec.CompleteTrace(bt)
+			p.t.done <- Applied{Seq: attempt, Batches: 1, Err: rejErr, Trace: bt}
 			continue
 		}
-		batch, tickets, waits, weight := l.popLocked()
+		headTrace, headEnqueued := l.q[0].trace, l.q[0].enqueued
+		l.rec.Record(flight.KindValidated, headTrace, int64(vDur),
+			int64(len(l.q[0].b.Add)+len(l.q[0].b.Del)))
+		coalesceStart := time.Now()
+		batch, tickets, traces, waits, weight := l.popLocked()
+		coalesceDur := time.Since(coalesceStart)
 		l.inflight = true
 		l.met.depth.Set(float64(len(l.q)))
 		attempt := l.seq + 1
@@ -748,9 +848,12 @@ func (l *Loop) run() {
 				maxWait = w
 			}
 		}
+		l.rec.BeginApply(headTrace)
 		start := time.Now()
 		st, err := l.applyWithRecovery(batch, attempt)
-		took := time.Since(start)
+		applyEnd := time.Now()
+		took := applyEnd.Sub(start)
+		journal := l.rec.EndApply()
 
 		l.mu.Lock()
 		res := Applied{Seq: attempt, Batches: len(tickets), Stats: st, QueueWait: maxWait, Err: err}
@@ -786,6 +889,51 @@ func (l *Loop) run() {
 			l.ctl.ApplyComplete(weight, took)
 		} else {
 			l.ctl.Cancel(weight)
+		}
+
+		// Complete the batch's lifecycle record: the phase breakdown plus
+		// the merged trace set, published under the head ID and every
+		// coalesced sibling's ID. Apply excludes the journal time the
+		// durable layer charged during the call, so the phases stay
+		// disjoint and their sum tracks the observed end-to-end latency.
+		if err == nil {
+			l.rec.Record(flight.KindApplied, headTrace, int64(took), int64(st.EdgeComputations))
+		}
+		completedAt := time.Now()
+		applyPhase := took - journal
+		if applyPhase < 0 {
+			applyPhase = 0
+		}
+		bt := flight.BatchTrace{
+			ID: headTrace, Traces: traces, Batches: len(tickets),
+			EnqueuedAt: headEnqueued, CompletedAt: completedAt,
+			Phases: flight.Phases{
+				QueueWait: dequeueAt.Sub(headEnqueued),
+				Validate:  vDur,
+				Coalesce:  coalesceDur,
+				Journal:   journal,
+				Apply:     applyPhase,
+				Publish:   completedAt.Sub(applyEnd),
+			},
+		}
+		if res.Err != nil {
+			bt.Err = res.Err.Error()
+		} else {
+			bt.Seq = attempt
+			l.rec.Record(flight.KindPublished, headTrace, int64(attempt),
+				int64(completedAt.Sub(headEnqueued)))
+		}
+		l.rec.CompleteTrace(bt)
+		res.Trace = bt
+		if err == nil && l.slowThresh > 0 && l.rec != nil {
+			if e2e := completedAt.Sub(headEnqueued); e2e > l.slowThresh {
+				l.rec.SlowBatch(headTrace, e2e, l.slowThresh)
+				l.opts.logger().Warn("graphbolt: slow batch",
+					"trace", headTrace, "seq", attempt, "e2e", e2e,
+					"threshold", l.slowThresh, "batches", len(tickets),
+					"queue_wait", bt.Phases.QueueWait, "journal", journal,
+					"apply", applyPhase)
+			}
 		}
 
 		for _, t := range tickets {
@@ -881,12 +1029,14 @@ func (l *Loop) supervise(rec Recoverer, cause error) bool {
 		}
 		l.met.recoveryAttempts.Inc()
 		if err := rec.Recover(); err != nil {
+			l.rec.Record(flight.KindRepair, l.rec.ActiveTrace(), int64(attempt+1), 0)
 			l.opts.Health.Set(health.Degraded, err) // refresh the cause
 			l.mu.Lock()
 			l.degraded = fmt.Errorf("%w: %v", ErrDegraded, err)
 			l.mu.Unlock()
 			continue
 		}
+		l.rec.Record(flight.KindRepair, l.rec.ActiveTrace(), int64(attempt+1), 1)
 		healed = true
 		break
 	}
@@ -911,22 +1061,24 @@ type edgeKey struct{ from, to graph.VertexID }
 // merges compatible successors up to the size cap — read through
 // MaxBatchEdges, so the governor's floating cap takes effect on the
 // very next merge run. It returns the batch to apply, the tickets it
-// covers, each batch's time in queue, and the total admission weight of
-// the merged batches. The head batch has been validated by the caller;
-// a candidate that fails validation ends the merge run so it reaches
-// the head of the queue — and the quarantine — on its own. l.mu must be
-// held.
-func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration, int) {
+// covers, the covered trace IDs (head first), each batch's time in
+// queue, and the total admission weight of the merged batches. Every
+// folded sibling gets a coalesced event naming the absorbing head
+// trace. The head batch has been validated by the caller; a candidate
+// that fails validation ends the merge run so it reaches the head of
+// the queue — and the quarantine — on its own. l.mu must be held.
+func (l *Loop) popLocked() (graph.Batch, []*Ticket, []uint64, []time.Duration, int) {
 	now := time.Now()
 	first := l.q[0]
 	l.q[0] = pending{}
 	l.q = l.q[1:]
 	acc := first.b
 	tickets := []*Ticket{first.t}
+	traces := []uint64{first.trace}
 	waits := []time.Duration{now.Sub(first.enqueued)}
 	weight := batchWeight(acc)
 	if l.opts.DisableCoalescing {
-		return acc, tickets, waits, weight
+		return acc, tickets, traces, waits, weight
 	}
 
 	capEdges := l.MaxBatchEdges()
@@ -967,11 +1119,13 @@ func (l *Loop) popLocked() (graph.Batch, []*Ticket, []time.Duration, int) {
 		size += len(nb.Add) + len(nb.Del)
 		weight += batchWeight(nb)
 		tickets = append(tickets, l.q[0].t)
+		traces = append(traces, l.q[0].trace)
 		waits = append(waits, now.Sub(l.q[0].enqueued))
+		l.rec.Record(flight.KindCoalesced, l.q[0].trace, int64(first.trace), 0)
 		l.q[0] = pending{}
 		l.q = l.q[1:]
 	}
-	return acc, tickets, waits, weight
+	return acc, tickets, traces, waits, weight
 }
 
 // delHitsPendingAdd reports whether any deletion targets an edge key the

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -95,6 +96,10 @@ type Options struct {
 	// counts and bytes, fsync latency, recovery results). Nil means
 	// instrumentation is off.
 	Metrics *obs.Registry
+	// Flight, when non-nil, receives fsync/fsync-failed lifecycle events
+	// with per-call latency, stamped with whatever trace the serve loop
+	// has marked active. Nil means no flight events.
+	Flight *flight.Recorder
 	// Hooks are fault-injection points for tests; zero means none.
 	Hooks Hooks
 }
@@ -440,20 +445,23 @@ func (w *WAL) Unappend() error {
 // Sync flushes the log to stable storage.
 func (w *WAL) Sync() error {
 	var start time.Time
-	if w.met.fsync != nil {
+	if w.met.fsync != nil || w.opts.Flight != nil {
 		start = time.Now()
 	}
 	if hook := w.opts.Hooks.BeforeSync; hook != nil {
 		if err := hook(); err != nil {
+			w.opts.Flight.Fsync(time.Since(start), true)
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	if err := w.f.Sync(); err != nil {
+		w.opts.Flight.Fsync(time.Since(start), true)
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	if w.met.fsync != nil {
 		w.met.fsync.Observe(time.Since(start).Seconds())
 	}
+	w.opts.Flight.Fsync(time.Since(start), false)
 	w.lastSync = time.Now()
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/flight"
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -36,6 +37,10 @@ var (
 		"graphbolt_engine_refine_iterations_total",
 		"graphbolt_engine_runs_total",
 		"graphbolt_engine_vertex_computations_total",
+		"graphbolt_flight_dropped_total",
+		"graphbolt_flight_dumps_total",
+		"graphbolt_flight_events_total",
+		"graphbolt_flight_slow_batches_total",
 		"graphbolt_health_transitions_total",
 		"graphbolt_parallel_chunk_claims_total",
 		"graphbolt_parallel_inline_loops_total",
@@ -103,6 +108,7 @@ func TestRegisteredMetricNamesGolden(t *testing.T) {
 	serve.RegisterMetrics(reg)
 	qcache.RegisterMetrics(reg)
 	health.RegisterMetrics(reg)
+	flight.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	defer parallel.SetMetrics(nil)
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/flight"
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -54,6 +55,7 @@ func EnableMetrics() *MetricsRegistry {
 	qcache.RegisterMetrics(reg)
 	health.RegisterMetrics(reg)
 	admission.RegisterMetrics(reg)
+	flight.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/backoff"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/health"
 	"repro/internal/qcache"
 	"repro/internal/serve"
@@ -114,11 +115,49 @@ type PoisonBatch = serve.PoisonBatch
 // (20ms base, 5s cap, factor 2, 20% jitter).
 type BackoffPolicy = backoff.Policy
 
-// Applied reports one completed apply call of the ingest loop.
+// Applied reports one completed apply call of the ingest loop. Its
+// Trace field carries the batch's completed lifecycle record.
 type Applied = serve.Applied
 
-// SubmitTicket tracks one submitted batch through the ingest loop.
+// SubmitTicket tracks one submitted batch through the ingest loop; its
+// Trace method returns the flight trace ID assigned at Submit.
 type SubmitTicket = serve.Ticket
+
+// FlightRecorder is the engine's black box: a lock-free, fixed-capacity
+// ring of batch-lifecycle events (admitted/shed, enqueued, coalesced,
+// validated, journaled with fsync latency, applied, published,
+// quarantined, health transitions, repair attempts), each stamped with
+// a trace ID born at Submit. Build one with NewFlightRecorder, set it
+// on ServerOptions.Flight (and DurableOptions.Flight for journal and
+// fsync events), and mount its Handler at /debug/flight. The ring is
+// dumped to the log on transitions to Degraded/Failed and on slow
+// batches. A nil *FlightRecorder is valid and inert.
+type FlightRecorder = flight.Recorder
+
+// FlightOptions configures a FlightRecorder (ring depth, retained trace
+// count, dump throttling, logger, metrics registry).
+type FlightOptions = flight.Options
+
+// NewFlightRecorder builds a flight recorder. Zero options take the
+// documented defaults (4096-event ring, 256 retained traces, 1s dump
+// throttle).
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder { return flight.New(opts) }
+
+// BatchTrace is the completed lifecycle record of one apply call: the
+// head batch's trace ID, every coalesced sibling's ID, and the
+// per-phase latency breakdown (queue wait, coalesce, validate, journal,
+// apply, publish). Look one up with Server.Trace.
+type BatchTrace = flight.BatchTrace
+
+// TracePhases is the per-phase latency breakdown on a BatchTrace.
+type TracePhases = flight.Phases
+
+// FlightEvent is one recorded lifecycle event in the flight ring.
+type FlightEvent = flight.Event
+
+// FlightDump is one captured ring snapshot (reason, focus trace,
+// events oldest-first).
+type FlightDump = flight.Dump
 
 // ServerOptions configures a Server's ingest pipeline.
 type ServerOptions struct {
@@ -173,6 +212,18 @@ type ServerOptions struct {
 	// Logger receives degraded-mode and watchdog warnings; nil uses
 	// slog.Default().
 	Logger *slog.Logger
+	// Flight, when non-nil, records every batch's lifecycle into the
+	// flight ring and completes per-phase BatchTraces retrievable via
+	// Server.Trace. Pass the same recorder to DurableOptions.Flight so
+	// journal and fsync events land in the same ring. Trace IDs are
+	// assigned whether or not a recorder is set.
+	Flight *FlightRecorder
+	// SlowBatch is the end-to-end latency (enqueue to publication) above
+	// which a batch is captured as slow: a throttled flight dump focused
+	// on its trace plus a warning naming the trace ID. Zero defaults to
+	// the admission SLO when Admission is set, otherwise off; negative
+	// disables explicitly. Ignored without Flight.
+	SlowBatch time.Duration
 }
 
 // Server is the concurrent serving facade over an engine: a
@@ -247,6 +298,8 @@ func newServer[V, A any](eng *core.Engine[V, A], a serve.Applier, closeEng func(
 		OnStuck:           opts.OnStuck,
 		Health:            s.health,
 		Logger:            opts.Logger,
+		Flight:            opts.Flight,
+		SlowBatch:         opts.SlowBatch,
 		OnApply: func(ap Applied) {
 			// Cache eviction follows ring retention: entries for
 			// generations SnapshotAt can no longer serve are dead weight.
@@ -414,6 +467,32 @@ func (s *Server[V, A]) MaxBatchEdges() int { return s.loop.MaxBatchEdges() }
 // the admission floor/ceiling band when admission is on; non-positive
 // values are ignored).
 func (s *Server[V, A]) SetMaxBatchEdges(n int) { s.loop.SetMaxBatchEdges(n) }
+
+// Flight returns the server's flight recorder, nil unless
+// ServerOptions.Flight was set. The nil recorder is inert and safe to
+// call.
+func (s *Server[V, A]) Flight() *FlightRecorder { return s.loop.Flight() }
+
+// Trace returns the completed lifecycle record covering trace ID id —
+// assigned at Submit, returned by SubmitTicket.Trace and on
+// Applied.Trace — whether id was the head of its apply or coalesced
+// into a sibling's. It reports false when no flight recorder is
+// configured or the trace has aged out of the recorder's bounded
+// history (FlightOptions.TraceDepth).
+func (s *Server[V, A]) Trace(id uint64) (BatchTrace, bool) {
+	return s.loop.Flight().Trace(id)
+}
+
+// FlightHandler returns an http.Handler serving the flight ring as JSON
+// (filterable with ?trace=ID, ?kind=NAME, ?dump=last), for mounting at
+// /debug/flight:
+//
+//	mux := obs.HandlerWith(reg, map[string]http.Handler{
+//	    "/debug/flight": srv.FlightHandler(),
+//	})
+//
+// Without a configured recorder the handler answers 404.
+func (s *Server[V, A]) FlightHandler() http.Handler { return s.loop.Flight().Handler() }
 
 // Err returns the ingest loop's terminal failure, or nil. After a
 // terminal failure the wrapped engine must be discarded; a durable
