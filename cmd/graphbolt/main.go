@@ -86,6 +86,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/partition"
 	"repro/internal/qcache"
 	"repro/internal/serve"
 	"repro/internal/stream"
@@ -111,7 +112,8 @@ func main() {
 		trace       = flag.Bool("trace", false, "log a line per engine phase (run, refine, hybrid, checkpoint, ...)")
 		serveMode   = flag.Bool("serve", false, "ingest the stream through the concurrent serving facade while -readers goroutines query snapshots")
 		readers     = flag.Int("readers", 4, "concurrent snapshot readers in -serve mode")
-		queueDepth  = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default)")
+		shards      = flag.Int("shards", 1, "partition serving into N shards, each with its own engine and apply loop behind a cross-shard barrier (with -serve; incompatible with -wal-dir)")
+		queueDepth  = flag.Int("queue-depth", 0, "ingest queue bound in -serve mode (0 = default, per shard)")
 		retain      = flag.Int("retain", 1, "published generations kept addressable for point-in-time reads (SnapshotAt)")
 		queryCache  = flag.Int64("query-cache", 0, "per-generation query cache budget in bytes for -serve mode (0 = off)")
 		applyDl     = flag.Duration("apply-deadline", 0, "watchdog deadline per apply call in -serve mode (0 = off); exceeding it logs and raises graphbolt_serve_stuck_applies")
@@ -129,6 +131,18 @@ func main() {
 	}
 	if *graphPath == "" {
 		fatal("need -graph")
+	}
+	if *shards > 1 {
+		if !*serveMode {
+			fatal("-shards requires -serve")
+		}
+		if *walDir != "" {
+			// The CLI's crash-resume protocol equates journal sequence
+			// numbers with stream positions; sharded journals count
+			// per-shard sub-batches instead. Sharded durability is
+			// available programmatically via OpenShardedDurable.
+			fatal("-shards is incompatible with -wal-dir")
+		}
 	}
 
 	// The metrics mux starts before the serving facade exists, so
@@ -149,6 +163,7 @@ func main() {
 		health.RegisterMetrics(reg)
 		admission.RegisterMetrics(reg)
 		flight.RegisterMetrics(reg)
+		partition.RegisterMetrics(reg)
 		parallel.SetMetrics(reg)
 	}
 	// The recorder is built before the metrics mux so /debug/flight can
@@ -268,6 +283,7 @@ func main() {
 		// run.close is not called on this path.
 		sc := serveConfig{
 			readers:       *readers,
+			shards:        *shards,
 			queueDepth:    *queueDepth,
 			cacheBytes:    *queryCache,
 			applyDeadline: *applyDl,
@@ -307,6 +323,12 @@ func main() {
 		if err := run.close(); err != nil {
 			fatal("%v", err)
 		}
+	}
+	if *serveMode && *shards > 1 {
+		// Sharded serving mutates per-shard engines, not the base
+		// engine the runner reports from.
+		logger.Info("sharded serve: skipping -top report and -validate (state lives in the shard engines)")
+		return
 	}
 	run.report()
 	if *validate {
@@ -371,6 +393,7 @@ type runner struct {
 // the /healthz proxy the server's tracker is published through.
 type serveConfig struct {
 	readers       int
+	shards        int
 	queueDepth    int
 	cacheBytes    int64
 	applyDeadline time.Duration
@@ -442,6 +465,7 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 	logger := sc.logger
 	var applyCalls, appliedBatches atomic.Int64
 	opts := graphbolt.ServerOptions{
+		Shards:          sc.shards,
 		QueueDepth:      sc.queueDepth,
 		QueryCacheBytes: sc.cacheBytes,
 		ApplyDeadline:   sc.applyDeadline,
@@ -570,6 +594,15 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 			"producer_backoffs", sheds,
 			"final_batch_cap", ctl.Cap(),
 			"throughput_edges_per_sec", int64(ctl.Rate()))
+	}
+	if srv.Shards() > 1 {
+		for _, si := range srv.ShardInfos() {
+			logger.Info("shard summary",
+				"shard", si.Shard,
+				"apply_calls", si.Applied,
+				"quarantined", si.Quarantined,
+				"state", si.State.String())
+		}
 	}
 	if fr := srv.Flight(); fr != nil {
 		logger.Info("flight summary",

@@ -84,6 +84,22 @@ func NewEngine[V, A any](g *graph.Graph, p Program[V, A], opts Options) (*Engine
 	return e, nil
 }
 
+// SpawnForGraph creates a fresh engine over g with this engine's
+// program and options — the same algorithm, mode, iteration budget and
+// retention depth, but independent state. The partition layer uses it
+// to turn one configured engine into N per-shard engines, each over its
+// shard's edge subset. The new engine has not run yet.
+func (e *Engine[V, A]) SpawnForGraph(g *graph.Graph) (*Engine[V, A], error) {
+	return NewEngine(g, e.p, e.opts)
+}
+
+// RetainDepth returns the number of published generations the engine
+// keeps addressable via SnapshotAt (1 when retention is off).
+func (e *Engine[V, A]) RetainDepth() int { return e.retain() }
+
+// Program returns the program the engine executes.
+func (e *Engine[V, A]) Program() Program[V, A] { return e.p }
+
 // Graph returns the graph of the published snapshot (the live graph
 // from the writer's perspective; for lock-free reads concurrent with
 // ApplyBatch, prefer Snapshot, which pairs the graph with its values).

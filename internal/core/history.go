@@ -63,7 +63,13 @@ func (r *HistoryRing[V]) At(gen uint64) *ResultSnapshot[V] {
 // It fails with an error wrapping ErrGenerationNotRetained when gen has
 // been evicted, is zero, or has not been published yet.
 func (e *Engine[V, A]) SnapshotAt(gen uint64) (*ResultSnapshot[V], error) {
-	cur := e.snap.Load()
+	return snapshotAtIn(e.snap.Load(), e.ring, e.retain(), gen)
+}
+
+// snapshotAtIn is the shared exact-generation lookup behind
+// Engine.SnapshotAt and MultiView.SnapshotAt: resolve gen against the
+// current snapshot and the history ring, with the detailed error cases.
+func snapshotAtIn[V any](cur *ResultSnapshot[V], ring *HistoryRing[V], retain int, gen uint64) (*ResultSnapshot[V], error) {
 	if cur == nil {
 		return nil, fmt.Errorf("%w: nothing published yet (want generation %d)", ErrGenerationNotRetained, gen)
 	}
@@ -75,13 +81,13 @@ func (e *Engine[V, A]) SnapshotAt(gen uint64) (*ResultSnapshot[V], error) {
 	case gen == 0:
 		return nil, fmt.Errorf("%w: generation 0 never exists (generations start at 1)", ErrGenerationNotRetained)
 	}
-	if e.ring != nil {
-		if s := e.ring.At(gen); s != nil {
+	if ring != nil {
+		if s := ring.At(gen); s != nil {
 			return s, nil
 		}
 	}
 	return nil, fmt.Errorf("%w: generation %d evicted (retaining the last %d of %d)",
-		ErrGenerationNotRetained, gen, e.retain(), cur.Generation)
+		ErrGenerationNotRetained, gen, retain, cur.Generation)
 }
 
 // retain returns the effective retention depth (1 when no ring).
@@ -146,6 +152,13 @@ func (e *Engine[V, A]) DiffSnapshots(from, to uint64) (*SnapshotDiff[V], error) 
 	if err != nil {
 		return nil, err
 	}
+	return diffSnapshots(e.p, fs, ts, from, to), nil
+}
+
+// diffSnapshots computes the changed-vertex diff between two resolved
+// snapshots under p's Changed predicate — the shared core behind
+// Engine.DiffSnapshots and MultiView.DiffSnapshots.
+func diffSnapshots[V, A any](p Program[V, A], fs, ts *ResultSnapshot[V], from, to uint64) *SnapshotDiff[V] {
 	d := &SnapshotDiff[V]{
 		From:        from,
 		To:          to,
@@ -160,11 +173,11 @@ func (e *Engine[V, A]) DiffSnapshots(from, to uint64) (*SnapshotDiff[V], error) 
 		if v < len(vals) {
 			return vals[v]
 		}
-		return e.p.InitValue(VertexID(v))
+		return p.InitValue(VertexID(v))
 	}
 	changed := bitset.New(n)
 	parallel.For(n, func(v int) {
-		if e.p.Changed(valueAt(fs.Values, v), valueAt(ts.Values, v)) {
+		if p.Changed(valueAt(fs.Values, v), valueAt(ts.Values, v)) {
 			changed.Set(VertexID(v))
 		}
 	})
@@ -175,5 +188,5 @@ func (e *Engine[V, A]) DiffSnapshots(from, to uint64) (*SnapshotDiff[V], error) 
 		d.Before[i] = valueAt(fs.Values, int(v))
 		d.After[i] = valueAt(ts.Values, int(v))
 	}
-	return d, nil
+	return d
 }

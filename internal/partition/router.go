@@ -1,0 +1,1032 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/graph"
+	"repro/internal/health"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TraceTagShift is the bit position of the shard tag in a trace ID:
+// shard s's loop mints IDs with (s+1)<<TraceTagShift OR'd in, so traces
+// from different shards never collide and any ID names its shard.
+const TraceTagShift = 48
+
+// TraceShard decodes the owning shard from a tagged trace ID, reporting
+// false for untagged (single-loop) IDs.
+func TraceShard(id uint64) (int, bool) {
+	s := id >> TraceTagShift
+	if s == 0 {
+		return 0, false
+	}
+	return int(s - 1), true
+}
+
+// Options configures a Router.
+type Options struct {
+	// Loop is the template for every shard's serve.Loop: queue depth,
+	// coalescing, admission config (each shard gets its own controller
+	// with this shared config/SLO), backoff, watchdog, flight recorder,
+	// logger. The router overrides per-shard fields: Health (per-shard
+	// trackers), TraceTag, OnApply/OnDrop, ExternalAdmission,
+	// QueueWhileDegraded, and forces the Block policy (Reject is
+	// emulated at the router so a composite batch is all-or-nothing).
+	Loop serve.Options
+
+	// Retain is the merged view's history depth (generations SnapshotAt
+	// can serve). Values <= 1 keep only the newest.
+	Retain int
+
+	// Health, when non-nil, receives the aggregate state: the worst
+	// state across shards (Failed > Degraded > Overloaded > Healthy),
+	// with the cause naming the worst shard.
+	Health *health.Tracker
+
+	// Metrics receives the graphbolt_shard_* series; nil disables them.
+	Metrics *obs.Registry
+
+	// OnPublish, when non-nil, is called from the publisher goroutine
+	// after every merged snapshot publication with its generation.
+	OnPublish func(gen uint64)
+
+	// OnApplied, when non-nil, is called from the publisher goroutine
+	// once per composite batch, after its ticket resolves.
+	OnApplied func(serve.Applied)
+
+	// Logger receives router warnings; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.Default()
+}
+
+// batchState tracks one submitted composite batch across its owning
+// shards: the cross-shard generation barrier in data form. The ticket
+// resolves only after every owning shard has applied its sub-batch
+// (remainingApply hits 0) and the publisher has folded every sub-apply
+// into a merged snapshot (remainingMerge hits 0) — or the composite
+// failed on some shard.
+type batchState struct {
+	owners   []int
+	traces   []uint64 // parallel to owners; traces[0] is the head
+	t        *serve.Ticket
+	enqueued time.Time
+
+	remainingApply int
+	remainingMerge int
+	firstApplyAt   time.Time
+	stats          core.Stats
+	maxWait        time.Duration
+	failed         bool // some shard failed/quarantined/dropped it
+	done           bool // ticket resolved, outstanding released
+}
+
+// subBatch is one shard's slice of a composite batch, mirrored in the
+// shard's FIFO in submission order. The loop's OnApply/OnDrop callbacks
+// pop descriptors in exactly that order (the loop is FIFO and the
+// router is its sole producer), which is how apply results are matched
+// back to composites without any ID lookup.
+type subBatch struct {
+	bs    *batchState
+	b     graph.Batch
+	trace uint64
+}
+
+// shardEvent is one completed shard apply awaiting merge: the
+// descriptors it covered (possibly several, when the shard loop
+// coalesced adjacent sub-batches) and the shard snapshot it produced.
+type shardEvent[V any] struct {
+	descs []*subBatch
+	snap  *core.ResultSnapshot[V]
+	stats core.Stats
+	wait  time.Duration
+}
+
+// shardState is the router's per-shard bookkeeping.
+type shardState[V any] struct {
+	fifo   []*subBatch
+	events []shardEvent[V]
+	last   *core.ResultSnapshot[V] // newest applied shard snapshot (loop goroutine)
+	cur    *core.ResultSnapshot[V] // newest merged shard snapshot (publisher)
+}
+
+// captureApplier wraps a shard's applier to capture the engine snapshot
+// each apply produced, pairing it with the OnApply callback that
+// follows on the same goroutine. Recoverer calls pass through.
+type captureApplier[V, A any] struct {
+	inner serve.Applier
+	eng   *core.Engine[V, A]
+	slot  *shardState[V]
+}
+
+func (c *captureApplier[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
+	st, err := c.inner.ApplyBatch(b)
+	if err == nil {
+		c.slot.last = c.eng.Snapshot()
+	}
+	return st, err
+}
+
+func (c *captureApplier[V, A]) Ailment() error {
+	if r, ok := c.inner.(serve.Recoverer); ok {
+		return r.Ailment()
+	}
+	return nil
+}
+
+func (c *captureApplier[V, A]) Recover() error {
+	if r, ok := c.inner.(serve.Recoverer); ok {
+		return r.Recover()
+	}
+	return fmt.Errorf("partition: applier is not recoverable")
+}
+
+// Router fans a mutation stream out over N partition-local serve.Loops
+// and merges their published snapshots back into one consistent view.
+//
+// Submit splits each batch by edge ownership and submits the sub-
+// batches to their shards concurrently with one composite ticket. A
+// single-shard batch proceeds independently — no barrier, no cross-
+// shard coordination. A multi-shard batch resolves only after all
+// owning shards applied (the cross-shard generation barrier), and the
+// merged view never exposes a partially applied batch: a shard's apply
+// is held back from publication until every composite it covers has
+// fully applied on all its shards, so every merged snapshot sits at a
+// barrier-consistent generation vector.
+//
+// Failure domains stay per shard: a poison batch is routed whole to one
+// shard and quarantined there; a degraded shard queues its sub-batches
+// (bounded backpressure) while recovery retries, and the other shards
+// keep applying and publishing; a terminal shard failure latches the
+// router (Err) with the first failing shard named.
+type Router[V, A any] struct {
+	pt      *Partitioner
+	engines []*core.Engine[V, A]
+	loops   []*serve.Loop
+	view    *core.MultiView[V, A]
+	met     routerMetrics
+	rec     *flight.Recorder
+	opts    Options
+	policy  serve.Policy
+	qdepth  int // effective per-shard queue depth (Reject emulation)
+	gen0    uint64
+
+	shardHealth []*health.Tracker
+	healthMu    sync.Mutex
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	shards      []shardState[V]
+	fifoTotal   int
+	outstanding int
+	failure     error
+	closed      bool
+
+	union *graph.Graph // publisher-owned after construction
+
+	pubCh    chan struct{}
+	stopCh   chan struct{}
+	pubDone  chan struct{}
+	stopOnce sync.Once
+}
+
+// NewRouter builds and starts a router over per-shard engines.
+// engines[s] must be built over shard s's edge subset with the full
+// vertex numbering (SplitGraph); union is their merged graph. appliers
+// supplies the per-shard mutation targets (durable wrappers); nil means
+// the engines themselves. Engines that have not run yet get their
+// initial computation here, in parallel.
+func NewRouter[V, A any](engines []*core.Engine[V, A], appliers []serve.Applier, pt *Partitioner, union *graph.Graph, opts Options) (*Router[V, A], error) {
+	n := pt.Shards()
+	if len(engines) != n {
+		return nil, fmt.Errorf("partition: %d engines for %d shards", len(engines), n)
+	}
+	if appliers == nil {
+		appliers = make([]serve.Applier, n)
+		for s, e := range engines {
+			appliers[s] = e
+		}
+	}
+	if len(appliers) != n {
+		return nil, fmt.Errorf("partition: %d appliers for %d shards", len(appliers), n)
+	}
+	if union == nil {
+		return nil, fmt.Errorf("partition: nil union graph")
+	}
+
+	var wg sync.WaitGroup
+	for _, e := range engines {
+		if e.Snapshot() == nil {
+			wg.Add(1)
+			go func(e *core.Engine[V, A]) {
+				defer wg.Done()
+				e.Run()
+			}(e)
+		}
+	}
+	wg.Wait()
+
+	view, err := core.NewMultiView(engines, pt.Owner, opts.Retain)
+	if err != nil {
+		return nil, err
+	}
+
+	qdepth := opts.Loop.QueueDepth
+	if qdepth <= 0 {
+		qdepth = serve.DefaultQueueDepth
+	}
+	r := &Router[V, A]{
+		pt:      pt,
+		engines: engines,
+		view:    view,
+		met:     newRouterMetrics(opts.Metrics),
+		rec:     opts.Loop.Flight,
+		opts:    opts,
+		policy:  opts.Loop.Policy,
+		qdepth:  qdepth,
+		shards:  make([]shardState[V], n),
+		union:   union,
+		pubCh:   make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		pubDone: make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+
+	// Initial merged publication: every shard's post-Run snapshot at
+	// once. gen0 anchors Applied.Seq to generations, like a loop over a
+	// quiescent engine.
+	snaps := make([]*core.ResultSnapshot[V], n)
+	for s, e := range engines {
+		snaps[s] = e.Snapshot()
+		r.shards[s].last = snaps[s]
+		r.shards[s].cur = snaps[s]
+	}
+	r.gen0 = view.PublishMerged(union, snaps).Generation
+	r.met.shardCount.Set(float64(n))
+	r.met.mergedGen.Set(float64(r.gen0))
+
+	r.shardHealth = make([]*health.Tracker, n)
+	r.loops = make([]*serve.Loop, n)
+	for s := 0; s < n; s++ {
+		s := s
+		tr := health.NewTracker(nil) // per-shard, unregistered; aggregate owns the gauge
+		r.shardHealth[s] = tr
+		tr.OnTransition(func(health.State, health.State, error) { r.recomputeHealth() })
+
+		lo := opts.Loop
+		lo.Health = tr
+		lo.TraceTag = uint64(s+1) << TraceTagShift
+		lo.Policy = serve.Block
+		lo.QueueWhileDegraded = true
+		lo.ExternalAdmission = lo.Admission != nil
+		lo.Logger = opts.logger().With("shard", s)
+		lo.OnApply = func(ap serve.Applied) { r.onShardApply(s, ap) }
+		lo.OnDrop = func(b graph.Batch, trace uint64, err error) { r.onShardDrop(s, trace, err) }
+		r.loops[s] = serve.NewLoop(&captureApplier[V, A]{
+			inner: appliers[s], eng: engines[s], slot: &r.shards[s],
+		}, lo)
+	}
+
+	go r.publisher()
+	return r, nil
+}
+
+// View returns the merged multi-shard read view.
+func (r *Router[V, A]) View() *core.MultiView[V, A] { return r.view }
+
+// Shards returns the shard count.
+func (r *Router[V, A]) Shards() int { return r.pt.Shards() }
+
+// Partitioner returns the router's vertex partitioner.
+func (r *Router[V, A]) Partitioner() *Partitioner { return r.pt }
+
+// Gen0 returns the merged generation at construction (before any
+// submitted batch).
+func (r *Router[V, A]) Gen0() uint64 { return r.gen0 }
+
+// Flight returns the shared flight recorder (nil when recording off).
+func (r *Router[V, A]) Flight() *flight.Recorder { return r.rec }
+
+// Loop returns shard s's apply loop, for introspection (Seq, Depth,
+// Health). Submitting to it directly breaks the router's bookkeeping.
+func (r *Router[V, A]) Loop(s int) *serve.Loop { return r.loops[s] }
+
+// ShardHealth returns shard s's health tracker.
+func (r *Router[V, A]) ShardHealth(s int) *health.Tracker { return r.shardHealth[s] }
+
+// Admission returns shard s's admission controller (nil when admission
+// is off; the nil controller is inert).
+func (r *Router[V, A]) Admission(s int) *admission.Controller { return r.loops[s].Admission() }
+
+// Admissions returns every shard's admission controller, indexed by
+// shard (all nil when admission is off).
+func (r *Router[V, A]) Admissions() []*admission.Controller {
+	out := make([]*admission.Controller, len(r.loops))
+	for s, l := range r.loops {
+		out[s] = l.Admission()
+	}
+	return out
+}
+
+// Depth returns the total number of sub-batches queued or in flight
+// across all shards.
+func (r *Router[V, A]) Depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fifoTotal
+}
+
+// MaxBatchEdges returns the largest effective coalescing cap across
+// shards (caps can diverge when per-shard governors float them).
+func (r *Router[V, A]) MaxBatchEdges() int {
+	max := 0
+	for _, l := range r.loops {
+		if c := l.MaxBatchEdges(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// SetMaxBatchEdges adjusts every shard's coalescing cap.
+func (r *Router[V, A]) SetMaxBatchEdges(n int) {
+	for _, l := range r.loops {
+		l.SetMaxBatchEdges(n)
+	}
+}
+
+// Quarantined returns every shard's retained poison batches merged into
+// one list, ordered by quarantine time.
+func (r *Router[V, A]) Quarantined() []serve.PoisonBatch {
+	var out []serve.PoisonBatch
+	for _, l := range r.loops {
+		out = append(out, l.Quarantined()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// QuarantinedTotal returns the total poison batches ever quarantined
+// across shards.
+func (r *Router[V, A]) QuarantinedTotal() uint64 {
+	var n uint64
+	for _, l := range r.loops {
+		n += l.QuarantinedTotal()
+	}
+	return n
+}
+
+// Err returns the router's first terminal shard failure, or nil. The
+// first failure observed is latched — once non-nil the value never
+// changes — and it keeps precedence over ErrClosed after Close, per
+// shard, exactly like a single loop's Err.
+func (r *Router[V, A]) Err() error {
+	r.mu.Lock()
+	if f := r.failure; f != nil {
+		r.mu.Unlock()
+		return f
+	}
+	r.mu.Unlock()
+	for s, l := range r.loops {
+		if err := l.Err(); err != nil {
+			return r.latchFailure(s, err)
+		}
+	}
+	return nil
+}
+
+// latchFailure records the first terminal shard failure, returning the
+// latched (possibly earlier) value.
+func (r *Router[V, A]) latchFailure(shard int, err error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failure == nil {
+		r.failure = fmt.Errorf("partition: shard %d: %w", shard, err)
+	}
+	return r.failure
+}
+
+// submitErrLocked mirrors the loop's refusal precedence at router
+// scope: terminal shard failure first, then closed.
+func (r *Router[V, A]) submitErrLocked() error {
+	if r.failure != nil {
+		return r.failure
+	}
+	if r.closed {
+		return serve.ErrClosed
+	}
+	return nil
+}
+
+// Submit splits b by edge ownership and submits each sub-batch to its
+// owning shard, returning one composite ticket that resolves after all
+// owning shards applied and the merged snapshot covering the batch
+// published. A batch owned by a single shard skips the barrier
+// entirely. A malformed batch is routed whole to the shard owning its
+// first invalid edge, which quarantines it — so poison stays confined
+// to one partition and the ticket fails exactly like a single loop's.
+//
+// With admission control on, the composite is admitted up front on
+// every owning shard (all-or-nothing): one refusal cancels the others
+// and returns the ErrOverloaded refusal with the largest RetryAfter.
+func (r *Router[V, A]) Submit(ctx context.Context, b graph.Batch) (*serve.Ticket, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	if err := r.submitErrLocked(); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Unlock()
+
+	// Route: per-shard sub-batches, or the whole batch to one shard if
+	// it is poison (all-or-nothing quarantine).
+	var owners []int
+	var subs []graph.Batch
+	if verr := b.Validate(); verr != nil {
+		owners = []int{r.pt.PoisonOwner(b)}
+		subs = []graph.Batch{{
+			Add: append([]graph.Edge(nil), b.Add...),
+			Del: append([]graph.Edge(nil), b.Del...),
+		}}
+	} else {
+		split := r.pt.Split(b)
+		for s, sb := range split {
+			if len(sb.Add)+len(sb.Del) > 0 {
+				owners = append(owners, s)
+				subs = append(subs, sb)
+			}
+		}
+		if len(owners) == 0 {
+			// An empty batch still advances the generation, like a
+			// single loop applying it; route it to shard 0.
+			owners = []int{0}
+			subs = []graph.Batch{{}}
+		}
+	}
+
+	// Reject emulation: the shard loops run Block so a composite is
+	// never half-rejected; under the Reject policy the router fails
+	// fast up front when any owning shard's queue is full.
+	if r.policy == serve.Reject {
+		for _, s := range owners {
+			if r.loops[s].Depth() >= r.qdepth {
+				return nil, &serve.RetryableError{Sentinel: serve.ErrQueueFull, After: serve.DefaultRetryAfter}
+			}
+		}
+	}
+
+	// Pre-flight admission across all owning shards, all-or-nothing.
+	// Once a sub-batch enqueues, its shard's loop owns the weight
+	// release (apply complete, quarantine, drain); the router cancels
+	// only charges whose enqueue never happened.
+	weights := make([]int, len(owners))
+	for i, sb := range subs {
+		if w := len(sb.Add) + len(sb.Del); w > 0 {
+			weights[i] = w
+		} else {
+			weights[i] = 1
+		}
+	}
+	if r.loops[owners[0]].Admission() != nil {
+		var deadline time.Time
+		if ctx != nil {
+			deadline, _ = ctx.Deadline()
+		}
+		var worst admission.Decision
+		refused := -1
+		for i, s := range owners {
+			dec := r.loops[s].Admission().Admit(weights[i], deadline)
+			if !dec.Admitted {
+				refused = i
+				worst = dec
+				break
+			}
+		}
+		if refused >= 0 {
+			for i := 0; i < refused; i++ {
+				r.loops[owners[i]].Admission().Cancel(weights[i])
+			}
+			return nil, &serve.RetryableError{
+				Sentinel: serve.ErrOverloaded,
+				After:    worst.RetryAfter,
+				Detail: fmt.Sprintf("shard %d: estimated wait %v",
+					owners[refused], worst.EstimatedWait.Round(time.Millisecond)),
+			}
+		}
+	}
+
+	// Mint per-shard traces and register the composite's descriptors in
+	// the shard FIFOs before any loop can see the sub-batches, so the
+	// OnApply/OnDrop pops always find them.
+	traces := make([]uint64, len(owners))
+	for i, s := range owners {
+		traces[i] = r.loops[s].MintTrace()
+	}
+	bs := &batchState{
+		owners:         owners,
+		traces:         traces,
+		t:              serve.NewTicket(traces[0]),
+		enqueued:       time.Now(),
+		remainingApply: len(owners),
+		remainingMerge: len(owners),
+	}
+	descs := make([]*subBatch, len(owners))
+	r.mu.Lock()
+	if err := r.submitErrLocked(); err != nil {
+		r.mu.Unlock()
+		r.cancelAdmission(owners, weights, 0)
+		return nil, err
+	}
+	for i, s := range owners {
+		d := &subBatch{bs: bs, b: subs[i], trace: traces[i]}
+		descs[i] = d
+		r.shards[s].fifo = append(r.shards[s].fifo, d)
+	}
+	r.fifoTotal += len(owners)
+	r.outstanding++
+	r.met.queueDepth.Set(float64(r.fifoTotal))
+	r.mu.Unlock()
+	if len(owners) > 1 {
+		r.met.crossBatches.Inc()
+	} else {
+		r.met.singleBatches.Inc()
+	}
+
+	for i, s := range owners {
+		if _, err := r.loops[s].SubmitTraced(ctx, subs[i], traces[i]); err != nil {
+			// This shard never saw the sub-batch: unregister it and any
+			// not-yet-submitted siblings, release their admission
+			// charges, and fail the composite. Sub-batches already
+			// submitted will still apply on their shards (their events
+			// merge under the failed flag), but the composite's ticket
+			// reports the submission failure.
+			r.mu.Lock()
+			for j := i; j < len(owners); j++ {
+				r.removeDescLocked(owners[j], descs[j])
+			}
+			r.failBatchLocked(bs, s, err)
+			r.mu.Unlock()
+			r.cancelAdmission(owners[i:], weights[i:], 0)
+			r.signalPublisher()
+			return nil, fmt.Errorf("partition: shard %d: %w", s, err)
+		}
+	}
+	return bs.t, nil
+}
+
+// cancelAdmission releases the admission charges for owners[from:].
+func (r *Router[V, A]) cancelAdmission(owners, weights []int, from int) {
+	for i := from; i < len(owners); i++ {
+		r.loops[owners[i]].Admission().Cancel(weights[i])
+	}
+}
+
+// removeDescLocked unregisters a descriptor that never reached its
+// shard's loop. r.mu must be held.
+func (r *Router[V, A]) removeDescLocked(shard int, d *subBatch) {
+	fifo := r.shards[shard].fifo
+	for i := len(fifo) - 1; i >= 0; i-- {
+		if fifo[i] == d {
+			r.shards[shard].fifo = append(fifo[:i], fifo[i+1:]...)
+			r.fifoTotal--
+			r.met.queueDepth.Set(float64(r.fifoTotal))
+			return
+		}
+	}
+}
+
+// failBatchLocked marks a composite failed and resolves its ticket once
+// (failures from later shards keep the first error). The failed flag
+// releases the publication barrier so sibling shards' applies still
+// merge. r.mu must be held.
+func (r *Router[V, A]) failBatchLocked(bs *batchState, shard int, err error) {
+	bs.failed = true
+	if bs.done {
+		return
+	}
+	bs.done = true
+	r.outstanding--
+	wrapped := err
+	if !errorNamesShard(err) {
+		wrapped = fmt.Errorf("partition: shard %d: %w", shard, err)
+	}
+	bt := flight.BatchTrace{
+		ID: bs.traces[0], Traces: bs.traces, Batches: 1,
+		EnqueuedAt: bs.enqueued, CompletedAt: time.Now(), Err: wrapped.Error(),
+	}
+	r.rec.CompleteTrace(bt)
+	bs.t.Resolve(serve.Applied{Batches: 1, Err: wrapped, Trace: bt})
+	if cb := r.opts.OnApplied; cb != nil {
+		go cb(serve.Applied{Batches: 1, Err: wrapped, Trace: bt})
+	}
+	r.cond.Broadcast()
+}
+
+// errorNamesShard reports whether err already carries the router's
+// shard prefix (avoids double-wrapping the latched failure).
+func errorNamesShard(err error) bool {
+	return err != nil && len(err.Error()) > 10 && err.Error()[:10] == "partition:"
+}
+
+// onShardApply is shard s's OnApply hook: pop the descriptors this
+// apply covered (the loop coalesces only adjacent sub-batches, so the
+// FIFO prefix is exactly the covered set), advance their composites'
+// barriers, and queue a merge event for the publisher.
+func (r *Router[V, A]) onShardApply(s int, ap serve.Applied) {
+	r.mu.Lock()
+	sh := &r.shards[s]
+	k := ap.Batches
+	if k > len(sh.fifo) {
+		k = len(sh.fifo)
+	}
+	descs := append([]*subBatch(nil), sh.fifo[:k]...)
+	sh.fifo = sh.fifo[k:]
+	r.fifoTotal -= len(descs)
+	r.met.queueDepth.Set(float64(r.fifoTotal))
+
+	if ap.Err != nil {
+		terminal := r.loops[s].Err() != nil
+		for _, d := range descs {
+			r.failBatchLocked(d.bs, s, ap.Err)
+		}
+		r.mu.Unlock()
+		if terminal {
+			r.latchFailure(s, r.loops[s].Err())
+		}
+		r.signalPublisher()
+		return
+	}
+
+	now := time.Now()
+	for _, d := range descs {
+		bs := d.bs
+		bs.remainingApply--
+		if len(bs.owners) > 1 {
+			if bs.firstApplyAt.IsZero() {
+				bs.firstApplyAt = now
+			}
+			if bs.remainingApply == 0 {
+				r.met.barrierWait.Observe(now.Sub(bs.firstApplyAt).Seconds())
+			}
+		}
+	}
+	sh.events = append(sh.events, shardEvent[V]{
+		descs: descs, snap: sh.last, stats: ap.Stats, wait: ap.QueueWait,
+	})
+	r.mu.Unlock()
+	r.signalPublisher()
+}
+
+// onShardDrop is shard s's OnDrop hook: a sub-batch resolved without an
+// apply (quarantine, shutdown/terminal drain). Runs on the loop
+// goroutine in queue order, so the FIFO head is the dropped batch.
+func (r *Router[V, A]) onShardDrop(s int, trace uint64, err error) {
+	r.mu.Lock()
+	sh := &r.shards[s]
+	if len(sh.fifo) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	d := sh.fifo[0]
+	if d.trace != trace {
+		// Defensive: should be impossible while the router is the sole
+		// producer. Find it so bookkeeping cannot wedge.
+		idx := -1
+		for i, c := range sh.fifo {
+			if c.trace == trace {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			r.mu.Unlock()
+			return
+		}
+		d = sh.fifo[idx]
+		sh.fifo = append(sh.fifo[:idx], sh.fifo[idx+1:]...)
+	} else {
+		sh.fifo = sh.fifo[1:]
+	}
+	r.fifoTotal--
+	r.met.queueDepth.Set(float64(r.fifoTotal))
+	r.failBatchLocked(d.bs, s, err)
+	r.mu.Unlock()
+	r.signalPublisher()
+}
+
+// signalPublisher nudges the publisher goroutine (coalescing nudges).
+func (r *Router[V, A]) signalPublisher() {
+	select {
+	case r.pubCh <- struct{}{}:
+	default:
+	}
+}
+
+// publisher is the single goroutine that merges completed shard applies
+// into composite snapshot publications.
+func (r *Router[V, A]) publisher() {
+	defer close(r.pubDone)
+	for {
+		select {
+		case <-r.pubCh:
+			r.publishPass()
+		case <-r.stopCh:
+			r.publishPass() // final flush
+			return
+		}
+	}
+}
+
+// mergeableLocked reports whether a shard event may be folded into the
+// next merged snapshot: every composite it covers must have fully
+// applied on all its owning shards (or failed — a failed composite
+// blocks nothing). This is the publication half of the cross-shard
+// barrier: a multi-shard batch is either absent from the merged view or
+// fully present, never partial.
+func (r *Router[V, A]) mergeableLocked(ev shardEvent[V]) bool {
+	for _, d := range ev.descs {
+		if d.bs.remainingApply > 0 && !d.bs.failed {
+			return false
+		}
+	}
+	return true
+}
+
+// publishPass drains every mergeable shard event, publishes one merged
+// snapshot covering them, and resolves the composites whose last event
+// just merged. Shard event queues advance strictly in order: a blocked
+// head (waiting on a sibling shard) holds that shard's frontier while
+// other shards keep publishing.
+func (r *Router[V, A]) publishPass() {
+	r.mu.Lock()
+	var merged []shardEvent[V]
+	for progress := true; progress; {
+		progress = false
+		for s := range r.shards {
+			sh := &r.shards[s]
+			for len(sh.events) > 0 && r.mergeableLocked(sh.events[0]) {
+				ev := sh.events[0]
+				sh.events[0] = shardEvent[V]{}
+				sh.events = sh.events[1:]
+				sh.cur = ev.snap
+				merged = append(merged, ev)
+				progress = true
+			}
+		}
+	}
+	if len(merged) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	parts := make([]*core.ResultSnapshot[V], len(r.shards))
+	for s := range r.shards {
+		parts[s] = r.shards[s].cur
+	}
+	var toResolve []*batchState
+	for _, ev := range merged {
+		for _, d := range ev.descs {
+			bs := d.bs
+			bs.stats.Add(ev.stats)
+			if ev.wait > bs.maxWait {
+				bs.maxWait = ev.wait
+			}
+			bs.remainingMerge--
+			if bs.remainingMerge == 0 && !bs.done {
+				bs.done = true
+				toResolve = append(toResolve, bs)
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	// Maintain the union graph: apply the merged sub-batches in merge
+	// order, folding adjacent compatible ones into a single structural
+	// apply (same del-after-add guard as loop coalescing) so the
+	// publisher does not become the serial bottleneck.
+	r.applyToUnion(merged)
+	snap := r.view.PublishMerged(r.union, parts)
+	r.met.mergedGen.Set(float64(snap.Generation))
+
+	completedAt := time.Now()
+	for _, bs := range toResolve {
+		bt := flight.BatchTrace{
+			ID: bs.traces[0], Traces: bs.traces, Batches: 1, Seq: snap.Generation - r.gen0,
+			EnqueuedAt: bs.enqueued, CompletedAt: completedAt,
+			Phases: flight.Phases{QueueWait: bs.maxWait},
+		}
+		r.rec.CompleteTrace(bt)
+		ap := serve.Applied{
+			Seq: snap.Generation - r.gen0, Batches: 1, Stats: bs.stats,
+			QueueWait: bs.maxWait, Trace: bt,
+		}
+		bs.t.Resolve(ap)
+		if cb := r.opts.OnApplied; cb != nil {
+			cb(ap)
+		}
+	}
+	if cb := r.opts.OnPublish; cb != nil {
+		cb(snap.Generation)
+	}
+
+	r.mu.Lock()
+	r.outstanding -= len(toResolve)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// applyToUnion folds the merged events' sub-batches into the union
+// graph. Edges are partition-disjoint across shards, so any interleaved
+// order consistent with per-shard order yields the same union; merge
+// order is per-shard order by construction.
+func (r *Router[V, A]) applyToUnion(merged []shardEvent[V]) {
+	var acc graph.Batch
+	var accAdds map[[2]graph.VertexID]struct{}
+	flush := func() {
+		if len(acc.Add)+len(acc.Del) == 0 {
+			return
+		}
+		r.union, _ = r.union.Apply(acc)
+		acc = graph.Batch{}
+		accAdds = nil
+	}
+	for _, ev := range merged {
+		for _, d := range ev.descs {
+			if len(d.b.Add)+len(d.b.Del) == 0 {
+				continue
+			}
+			hit := false
+			for _, e := range d.b.Del {
+				if _, ok := accAdds[[2]graph.VertexID{e.From, e.To}]; ok {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				flush()
+			}
+			if accAdds == nil {
+				accAdds = make(map[[2]graph.VertexID]struct{})
+			}
+			acc.Add = append(acc.Add, d.b.Add...)
+			acc.Del = append(acc.Del, d.b.Del...)
+			for _, e := range d.b.Add {
+				accAdds[[2]graph.VertexID{e.From, e.To}] = struct{}{}
+			}
+		}
+	}
+	flush()
+}
+
+// recomputeHealth folds the per-shard states into the aggregate
+// tracker: the worst state wins (Failed > Degraded > Overloaded >
+// Healthy), with the cause naming the worst shard.
+func (r *Router[V, A]) recomputeHealth() {
+	agg := r.opts.Health
+	if agg == nil {
+		return
+	}
+	rank := func(s health.State) int {
+		switch s {
+		case health.Failed:
+			return 3
+		case health.Degraded:
+			return 2
+		case health.Overloaded:
+			return 1
+		}
+		return 0
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	worst, worstShard := health.Healthy, -1
+	var worstCause error
+	for s, tr := range r.shardHealth {
+		info := tr.Info()
+		if worstShard < 0 || rank(info.State) > rank(worst) {
+			worst, worstShard, worstCause = info.State, s, info.Cause
+		}
+	}
+	var cause error
+	if worst != health.Healthy && worstCause != nil {
+		cause = fmt.Errorf("shard %d: %w", worstShard, worstCause)
+	} else if worst != health.Healthy {
+		cause = fmt.Errorf("shard %d: %s", worstShard, worst)
+	}
+	agg.Set(worst, cause)
+}
+
+// Sync blocks until every batch submitted before the call has applied
+// on all its shards and the merged snapshot covering it has published
+// (or ctx is done). Returns the router's terminal failure, if any.
+func (r *Router[V, A]) Sync(ctx context.Context) error {
+	for s, l := range r.loops {
+		if err := l.Sync(ctx); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			return r.latchFailure(s, err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.awaitLocked(ctx, func() bool {
+		return r.failure != nil || (r.outstanding == 0 && r.eventsEmptyLocked())
+	})
+	if err != nil {
+		return err
+	}
+	return r.failure
+}
+
+func (r *Router[V, A]) eventsEmptyLocked() bool {
+	for s := range r.shards {
+		if len(r.shards[s].events) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// awaitLocked waits on the router condition until pred holds or ctx is
+// done. r.mu must be held.
+func (r *Router[V, A]) awaitLocked(ctx context.Context, pred func() bool) error {
+	if pred() {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	for !pred() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.cond.Wait()
+	}
+	return nil
+}
+
+// Done returns a channel closed once the publisher has flushed and
+// exited (after Close completed).
+func (r *Router[V, A]) Done() <-chan struct{} { return r.pubDone }
+
+// Close stops accepting submissions, closes every shard loop (draining
+// their queues, bounded by ctx), then stops the publisher after a final
+// merge flush. The first terminal shard failure — latched before or
+// during the drain — takes precedence over ErrClosed-class outcomes,
+// deterministically: once latched it is what Err and Close return.
+// Close is idempotent; if ctx expires mid-drain the loops keep
+// draining and a later Close can finish the job.
+func (r *Router[V, A]) Close(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	var firstErr error
+	for s, l := range r.loops {
+		if err := l.Close(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("partition: shard %d: %w", s, err)
+		}
+	}
+	for _, l := range r.loops {
+		select {
+		case <-l.Done():
+		default:
+			// ctx expired while a shard was still draining; leave the
+			// publisher running so its applies still merge.
+			if f := r.Err(); f != nil {
+				return f
+			}
+			return firstErr
+		}
+	}
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	<-r.pubDone
+	if f := r.Err(); f != nil {
+		return f
+	}
+	return firstErr
+}

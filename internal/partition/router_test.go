@@ -1,0 +1,336 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// twoShardFixture builds a 16-vertex graph explicitly partitioned so
+// vertices 0..7 belong to shard 0 and 8..15 to shard 1, with a few
+// in-shard base edges on each side.
+func twoShardFixture(t *testing.T) (*Partitioner, []*core.Engine[float64, float64], *graph.Graph) {
+	t.Helper()
+	assign := make(map[graph.VertexID]int)
+	for v := 0; v < 16; v++ {
+		if v < 8 {
+			assign[graph.VertexID(v)] = 0
+		} else {
+			assign[graph.VertexID(v)] = 1
+		}
+	}
+	pt := mustNew(t, 2, assign)
+	base := []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}, {From: 2, To: 0, Weight: 1},
+		{From: 8, To: 9, Weight: 1}, {From: 9, To: 10, Weight: 1}, {From: 10, To: 8, Weight: 1},
+	}
+	g, err := graph.Build(16, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := pt.SplitGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*core.Engine[float64, float64], 2)
+	for s, sg := range parts {
+		engines[s], err = core.NewEngine[float64, float64](sg, algorithms.NewPageRank(), core.Options{MaxIterations: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pt, engines, g
+}
+
+// gateApplier blocks every apply until gate closes, signalling entry.
+type gateApplier struct {
+	inner   serve.Applier
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func newGateApplier(inner serve.Applier) *gateApplier {
+	return &gateApplier{inner: inner, entered: make(chan struct{}, 16), gate: make(chan struct{})}
+}
+
+func (g *gateApplier) ApplyBatch(b graph.Batch) (core.Stats, error) {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.inner.ApplyBatch(b)
+}
+
+// failApplier fails every apply terminally.
+type failApplier struct{ err error }
+
+func (f *failApplier) ApplyBatch(graph.Batch) (core.Stats, error) { return core.Stats{}, f.err }
+
+func addOn(from, to graph.VertexID) graph.Batch {
+	return graph.Batch{Add: []graph.Edge{{From: from, To: to, Weight: 1}}}
+}
+
+// A multi-shard batch must not surface in the merged view (and its
+// ticket must not resolve) until every owning shard has applied its
+// sub-batch.
+func TestCrossShardBarrierHoldsPublication(t *testing.T) {
+	pt, engines, union := twoShardFixture(t)
+	gated := newGateApplier(engines[0])
+	r, err := NewRouter(engines, []serve.Applier{gated, engines[1]}, pt, union, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := r.Gen0()
+
+	// Edge 3→4 is owned by shard 0 (gated), 11→12 by shard 1.
+	tk, err := r.Submit(nil, graph.Batch{Add: []graph.Edge{
+		{From: 3, To: 4, Weight: 1}, {From: 11, To: 12, Weight: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 is stuck inside its apply; give shard 1 ample time to
+	// apply its half, then confirm nothing published and the ticket is
+	// still pending.
+	select {
+	case <-gated.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard 0 never entered apply")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	if _, err := tk.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		cancel()
+		t.Fatalf("ticket resolved while one shard had not applied (err=%v)", err)
+	}
+	cancel()
+	if g := r.View().Snapshot().Generation; g != gen0 {
+		t.Fatalf("merged generation advanced to %d behind the barrier (gen0=%d)", g, gen0)
+	}
+
+	close(gated.gate)
+	ap, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.View().Snapshot()
+	if snap.Generation != gen0+ap.Seq {
+		t.Fatalf("generation %d, ticket seq %d over gen0 %d", snap.Generation, ap.Seq, gen0)
+	}
+	if want := union.NumEdges() + 2; snap.Graph.NumEdges() != want {
+		t.Fatalf("merged graph has %d edges, want %d", snap.Graph.NumEdges(), want)
+	}
+	if err := r.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A batch owned entirely by one shard publishes without waiting for an
+// unrelated shard that is blocked mid-apply.
+func TestSingleShardBatchSkipsBarrier(t *testing.T) {
+	pt, engines, union := twoShardFixture(t)
+	gated := newGateApplier(engines[0])
+	r, err := NewRouter(engines, []serve.Applier{gated, engines[1]}, pt, union, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := r.Gen0()
+
+	// Occupy shard 0.
+	slow, err := r.Submit(nil, addOn(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gated.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard 0 never entered apply")
+	}
+
+	// Shard 1 proceeds independently.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	tk, err := r.Submit(ctx, addOn(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(ctx); err != nil {
+		t.Fatalf("single-shard batch blocked behind a foreign shard: %v", err)
+	}
+	if g := r.View().Snapshot().Generation; g <= gen0 {
+		t.Fatalf("no merged publication for the independent shard (gen %d)", g)
+	}
+
+	close(gated.gate)
+	if _, err := slow.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A poison batch is quarantined on exactly the shard owning its first
+// invalid edge; siblings keep serving.
+func TestPoisonConfinedToOwningShard(t *testing.T) {
+	pt, engines, union := twoShardFixture(t)
+	r, err := NewRouter(engines, nil, pt, union, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := graph.Batch{Add: []graph.Edge{{From: 11, To: 12, Weight: math.NaN()}}}
+	tk, err := r.Submit(nil, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, graph.ErrInvalidBatch) {
+		t.Fatalf("poison ticket error = %v, want ErrInvalidBatch", err)
+	}
+	if got := r.Loop(1).QuarantinedTotal(); got != 1 {
+		t.Fatalf("owning shard quarantined %d, want 1", got)
+	}
+	if got := r.Loop(0).QuarantinedTotal(); got != 0 {
+		t.Fatalf("innocent shard quarantined %d, want 0", got)
+	}
+	if got := r.QuarantinedTotal(); got != 1 {
+		t.Fatalf("router quarantine total %d, want 1", got)
+	}
+	// Both shards still serve.
+	for _, b := range []graph.Batch{addOn(3, 4), addOn(11, 12)} {
+		tk, err := r.Submit(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The first terminal shard failure is latched: Err names the shard,
+// keeps its value across calls, takes precedence over ErrClosed after
+// Close, and is what Submit and Close report.
+func TestErrLatchesFailureOverClosed(t *testing.T) {
+	pt, engines, union := twoShardFixture(t)
+	boom := errors.New("disk on fire")
+	r, err := NewRouter(engines, []serve.Applier{engines[0], &failApplier{err: boom}}, pt, union, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := r.Submit(nil, addOn(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("ticket error = %v, want the injected failure", err)
+	}
+	first := r.Err()
+	if first == nil || !errors.Is(first, boom) {
+		t.Fatalf("Err() = %v, want the injected failure", first)
+	}
+	if got := first.Error(); !contains(got, "shard 1") {
+		t.Fatalf("Err() = %q does not name the failing shard", got)
+	}
+	cerr := r.Close(nil)
+	if !errors.Is(cerr, boom) {
+		t.Fatalf("Close() = %v, want the latched failure over ErrClosed", cerr)
+	}
+	if again := r.Err(); again.Error() != first.Error() {
+		t.Fatalf("Err() changed after Close: %q then %q", first, again)
+	}
+	if _, err := r.Submit(nil, addOn(3, 4)); !errors.Is(err, boom) || errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Submit after failure+close = %v, want latched failure, not ErrClosed", err)
+	}
+	// The healthy shard is unaffected below the router: its loop closed
+	// cleanly with no terminal error.
+	if err := r.Loop(0).Err(); err != nil {
+		t.Fatalf("healthy shard reports %v", err)
+	}
+}
+
+// Clean close: ErrClosed only, and only after Close.
+func TestCloseWithoutFailure(t *testing.T) {
+	pt, engines, union := twoShardFixture(t)
+	r, err := NewRouter(engines, nil, pt, union, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := r.Submit(nil, graph.Batch{Add: []graph.Edge{
+		{From: 3, To: 4, Weight: 1}, {From: 11, To: 12, Weight: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(nil); err != nil {
+		t.Fatalf("clean Close = %v", err)
+	}
+	// Close drained the queue: the in-flight ticket resolved.
+	ap, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("ticket after drain: %v", err)
+	}
+	if ap.Seq == 0 {
+		t.Fatal("drained batch never got a merged publication")
+	}
+	if _, err := r.Submit(nil, addOn(3, 4)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Submit after clean close = %v, want ErrClosed", err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err after clean close = %v, want nil", err)
+	}
+}
+
+// Trace IDs carry their shard in the top bits.
+func TestTraceIDsCarryShard(t *testing.T) {
+	pt, engines, union := twoShardFixture(t)
+	r, err := NewRouter(engines, nil, pt, union, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(nil)
+	tk0, err := r.Submit(nil, addOn(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk1, err := r.Submit(nil, addOn(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := TraceShard(tk0.Trace()); !ok || s != 0 {
+		t.Fatalf("TraceShard(%#x) = %d,%v want 0,true", tk0.Trace(), s, ok)
+	}
+	if s, ok := TraceShard(tk1.Trace()); !ok || s != 1 {
+		t.Fatalf("TraceShard(%#x) = %d,%v want 1,true", tk1.Trace(), s, ok)
+	}
+	if _, ok := TraceShard(42); ok {
+		t.Fatal("untagged ID decoded to a shard")
+	}
+	if _, err := tk0.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/partition"
 	"repro/internal/qcache"
 	"repro/internal/serve"
 	"repro/internal/wal"
@@ -62,6 +63,8 @@ var (
 		"graphbolt_serve_rejected_batches_total",
 		"graphbolt_serve_submitted_batches_total",
 		"graphbolt_serve_watchdog_stalls_total",
+		"graphbolt_shard_cross_batches_total",
+		"graphbolt_shard_single_batches_total",
 		"graphbolt_wal_append_bytes_total",
 		"graphbolt_wal_appends_total",
 		"graphbolt_wal_recovered_records_total",
@@ -82,6 +85,9 @@ var (
 		"graphbolt_serve_quarantine_size",
 		"graphbolt_serve_queue_depth",
 		"graphbolt_serve_stuck_applies",
+		"graphbolt_shard_count",
+		"graphbolt_shard_merged_generation",
+		"graphbolt_shard_queue_depth",
 		"graphbolt_wal_size_bytes",
 	}
 	goldenHistograms = []string{
@@ -92,6 +98,7 @@ var (
 		"graphbolt_serve_queue_wait_seconds",
 		"graphbolt_serve_read_staleness_seconds",
 		"graphbolt_serve_recovery_backoff_seconds",
+		"graphbolt_shard_barrier_wait_seconds",
 		"graphbolt_wal_fsync_seconds",
 	}
 )
@@ -109,6 +116,7 @@ func TestRegisteredMetricNamesGolden(t *testing.T) {
 	qcache.RegisterMetrics(reg)
 	health.RegisterMetrics(reg)
 	flight.RegisterMetrics(reg)
+	partition.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	defer parallel.SetMetrics(nil)
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/partition"
 	"repro/internal/qcache"
 	"repro/internal/serve"
 	"repro/internal/wal"
@@ -56,6 +57,7 @@ func EnableMetrics() *MetricsRegistry {
 	health.RegisterMetrics(reg)
 	admission.RegisterMetrics(reg)
 	flight.RegisterMetrics(reg)
+	partition.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }

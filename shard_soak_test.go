@@ -1,0 +1,243 @@
+package graphbolt_test
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	graphbolt "repro"
+	"repro/internal/faultio"
+	"repro/internal/wal"
+)
+
+// TestShardSoak is the sharded self-healing soak (run under -race via
+// `make shard`): a 3-shard durable server serves a randomized
+// partition-closed stream while shard 1's journal — and only shard
+// 1's — sits on a flaky disk. It asserts the sharded failure-domain
+// contract end to end:
+//
+//   - with shard 1's fsync hard-failing, shard 1 goes Degraded while
+//     shards 0 and 2 keep accepting and applying within a bounded wait
+//     (ingestion holds the degraded shard's batches, it does not stop
+//     the others);
+//   - scripted poison batches quarantine on their owning shard only,
+//     despite the concurrent fault episodes;
+//   - once the disk heals, every held batch lands, the server returns
+//     to Healthy with no terminal error, and the merged values equal a
+//     from-scratch ModeReset run over the surviving stream;
+//   - a restart (OpenShardedDurable over the same directory tree, no
+//     faults) recovers every shard and reproduces the live state.
+func TestShardSoak(t *testing.T) {
+	nBatches := 150
+	if testing.Short() {
+		nBatches = 40
+	}
+	const (
+		n      = 48
+		shards = 3
+	)
+	assign, pools := roundRobinAssign(n, shards)
+	rng := rand.New(rand.NewSource(11))
+	mirror := shardMirror{n: n, edges: closedEdges(rng, pools, 3*n)}
+
+	g, err := graphbolt.BuildGraph(n, append([]graphbolt.Edge(nil), mirror.edges...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := graphbolt.NewEngine[float64, float64](g, graphbolt.NewPageRank(),
+		graphbolt.Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fsync := faultio.NewFsync()
+	sd, err := graphbolt.OpenShardedDurable(eng, dir, shards, assign,
+		func(shard int) graphbolt.DurableOptions {
+			o := graphbolt.DurableOptions{
+				CheckpointEvery: 20,
+				WAL:             graphbolt.WALOptions{Sync: graphbolt.SyncEveryBatch},
+			}
+			if shard == 1 {
+				o.WAL.Hooks = wal.Hooks{BeforeSync: fsync.Check}
+			}
+			return o
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := graphbolt.NewShardedDurableServer(sd, graphbolt.ServerOptions{
+		DisableCoalescing: true, // one journal record per sub-batch
+		QuarantineDepth:   8,
+		Backoff:           graphbolt.BackoffPolicy{Base: 500 * time.Microsecond, Max: 5 * time.Millisecond},
+		Logger:            slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Phase 1 — hard outage on shard 1's disk: every fsync fails, so
+	// its first journaled apply wedges the shard in Degraded while
+	// recovery retries under backoff.
+	fsync.FailEveryKth(1, nil)
+	p1 := pools[1]
+	held, err := srv.Submit(ctx, graphbolt.Batch{Add: []graphbolt.Edge{
+		{From: p1[0], To: p1[1], Weight: 1},
+	}})
+	if err != nil {
+		t.Fatalf("Submit to faulted shard: %v", err)
+	}
+	mirror = mirror.apply(graphbolt.Batch{Add: []graphbolt.Edge{{From: p1[0], To: p1[1], Weight: 1}}})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.ShardInfos()[1].State != graphbolt.HealthDegraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 never degraded: %+v", srv.ShardInfos())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := srv.Health().State(); st != graphbolt.HealthDegraded {
+		t.Fatalf("server health = %v with shard 1 degraded, want Degraded", st)
+	}
+
+	// Shards 0 and 2 must keep applying, bounded, while shard 1 is down.
+	for _, s := range []int{0, 2} {
+		p := pools[s]
+		wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		if _, err := srv.SubmitWait(wctx, graphbolt.Batch{Add: []graphbolt.Edge{
+			{From: p[0], To: p[2], Weight: 1},
+		}}); err != nil {
+			t.Fatalf("shard %d SubmitWait while shard 1 degraded: %v", s, err)
+		}
+		cancel()
+		mirror = mirror.apply(graphbolt.Batch{Add: []graphbolt.Edge{{From: p[0], To: p[2], Weight: 1}}})
+		if si := srv.ShardInfos()[s]; si.State != graphbolt.HealthHealthy {
+			t.Fatalf("shard %d state = %v during shard 1's outage, want Healthy", s, si.State)
+		}
+	}
+
+	// Heal the disk: the held batch lands and shard 1 recovers.
+	fsync.FailEveryKth(0, nil)
+	if _, err := held.Wait(ctx); err != nil {
+		t.Fatalf("held shard-1 batch resolved with %v after heal", err)
+	}
+
+	// Phase 2 — soak under a periodically flaky disk: every 5th fsync
+	// on shard 1 fails while the randomized stream (most batches
+	// cross-shard) flows, with scripted poisons owned by shard 2.
+	fsync.FailEveryKth(5, nil)
+	var poisons []*graphbolt.SubmitTicket
+	p2 := pools[2]
+	for i := 0; i < nBatches; i++ {
+		if i == nBatches/3 || i == 2*nBatches/3 {
+			tk, err := srv.Submit(ctx, graphbolt.Batch{Add: []graphbolt.Edge{
+				{From: p2[0], To: p2[1], Weight: math.NaN()},
+			}})
+			if err != nil {
+				t.Fatalf("poison Submit: %v", err)
+			}
+			poisons = append(poisons, tk)
+		}
+		b := randomClosedBatch(rng, mirror, pools)
+		mirror = mirror.apply(b)
+		if _, err := srv.Submit(ctx, b); err != nil {
+			t.Fatalf("Submit batch %d: %v", i+1, err)
+		}
+	}
+
+	// Drain under a healthy disk; every poison ticket must have been
+	// refused with the validation sentinel.
+	fsync.FailEveryKth(0, nil)
+	if _, err := srv.Sync(ctx); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	for i, tk := range poisons {
+		if _, err := tk.Wait(ctx); !errors.Is(err, graphbolt.ErrInvalidBatch) {
+			t.Fatalf("poison %d resolved with %v, want ErrInvalidBatch", i, err)
+		}
+	}
+	if fsync.Failures() == 0 {
+		t.Fatal("fault injector never fired; the soak exercised nothing")
+	}
+
+	// Quarantine stays confined to the owning shard across the faults.
+	if got := srv.QuarantinedTotal(); got != uint64(len(poisons)) {
+		t.Fatalf("QuarantinedTotal() = %d, want %d", got, len(poisons))
+	}
+	for _, si := range srv.ShardInfos() {
+		want := uint64(0)
+		if si.Shard == 2 {
+			want = uint64(len(poisons))
+		}
+		if si.Quarantined != want {
+			t.Fatalf("shard %d quarantined %d, want %d", si.Shard, si.Quarantined, want)
+		}
+	}
+
+	// The server ends Healthy with no terminal error.
+	deadline = time.Now().Add(10 * time.Second)
+	for srv.Health().State() != graphbolt.HealthHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never returned to Healthy: %+v", srv.Health().Info())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("terminal failure after soak: %v", err)
+	}
+
+	// BSP equivalence across the degraded episodes: merged values equal
+	// a from-scratch run that never saw the faults or poisons.
+	finalSnap := srv.Snapshot()
+	refG, err := graphbolt.BuildGraph(mirror.n, append([]graphbolt.Edge(nil), mirror.edges...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := graphbolt.NewEngine[float64, float64](refG, graphbolt.NewPageRank(),
+		graphbolt.Options{Mode: graphbolt.ModeReset, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Run()
+	valuesClose(t, finalSnap.Values, fresh.Values(), 1e-6, "soaked merged vs from-scratch")
+
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Restart: recovering every shard from the directory tree the
+	// faulted run left behind reproduces the live state.
+	g2, err := graphbolt.BuildGraph(n, g.Edges(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := graphbolt.NewEngine[float64, float64](g2, graphbolt.NewPageRank(),
+		graphbolt.Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := graphbolt.OpenShardedDurable(eng2, dir, shards, assign,
+		func(int) graphbolt.DurableOptions {
+			return graphbolt.DurableOptions{CheckpointEvery: 20}
+		})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := len(sd2.Recovery()); got != shards {
+		t.Fatalf("reopen recovered %d shards, want %d", got, shards)
+	}
+	srv2, err := graphbolt.NewShardedDurableServer(sd2, graphbolt.ServerOptions{
+		Logger: slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		t.Fatalf("reopen server: %v", err)
+	}
+	valuesClose(t, srv2.Snapshot().Values, finalSnap.Values, 1e-9, "recovered vs live")
+	if err := srv2.Close(ctx); err != nil {
+		t.Fatalf("reopen Close: %v", err)
+	}
+}
