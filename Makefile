@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 COVER_FLOOR_core  = 70
 COVER_FLOOR_serve = 70
 
-.PHONY: build test check check-race race vet fmt bench bench-shards fuzz cover chaos overload flight shard
+.PHONY: build test check check-race race vet fmt bench bench-shards fuzz cover chaos overload flight shard replica
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,17 @@ flight:
 	$(GO) test -race -run TestFlightRecorder -v $(FLIGHT_FLAGS) .
 	$(GO) test -race -run 'TestTrace|TestRing|TestSnapshotConsistent' ./internal/flight/ ./internal/serve/
 
+# replica runs the replication suite under the race detector: the
+# leader/follower equivalence harness (~100 randomized batches streamed
+# over a real HTTP stack, every acked generation's snapshot compared to
+# the leader's), the kill/restart + seq-exact-resume e2e, the torn-
+# frame/leader-outage chaos stream, and the replica package's unit,
+# contract and frame-codec tests. REPLICA_FLAGS=-short shrinks the
+# streams for CI.
+replica:
+	$(GO) test -race -run 'TestReplica' -v $(REPLICA_FLAGS) .
+	$(GO) test -race $(REPLICA_FLAGS) ./internal/replica/... ./internal/wal/
+
 # fuzz runs every fuzz target for FUZZTIME each (Go only allows one
 # -fuzz pattern per invocation). The seed corpora alone run in `make
 # test`; this target actually mutates.
@@ -98,6 +109,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -run=^$$ -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/replica/
 
 # cover runs the full test suite with statement coverage and fails if
 # any package with a COVER_FLOOR_<name> above dips under its floor. The

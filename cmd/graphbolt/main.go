@@ -58,6 +58,24 @@
 //
 //	graphbolt -graph base.el -stream stream.el -serve -admission -flight
 //
+// With -api-addr, -serve mode exposes the HTTP/JSON query API —
+// /v1/snapshot, /v1/snapshot/{gen}, /v1/topk, /v1/value/{vertex},
+// /v1/diff — plus /healthz and the /metrics family on that address.
+// When -wal-dir is also set, the same listener serves the replication
+// stream at GET /v1/wal: every journaled record, CRC-framed exactly as
+// on disk, streamed to followers and resumable by sequence number:
+//
+//	graphbolt -graph base.el -stream stream.el -serve -wal-dir state/ -api-addr :8080
+//
+// With -follow, the process runs as a read replica instead: it tails
+// the leader's /v1/wal stream, replays every record through the same
+// engine (re-journaling locally when -wal-dir is set, so a restart
+// resumes seq-exact from disk), refuses writes, and serves the same
+// query API on -api-addr. Run it with the leader's -graph, -algo and
+// -retain so the generations line up:
+//
+//	graphbolt -graph base.el -algo pagerank -follow http://leader:8080 -api-addr :8081
+//
 // Progress is logged with log/slog, one line per event (load, recovery,
 // initial run, each applied batch); -log-format selects text or JSON.
 // Result output (-top, -validate) stays on stdout.
@@ -71,9 +89,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	graphbolt "repro"
@@ -123,6 +143,8 @@ func main() {
 		batchCeil   = flag.Int("batch-ceil", 0, "adaptive coalescing cap ceiling in edges (0 = default 65536; with -admission)")
 		flightOn    = flag.Bool("flight", false, "enable the batch-lifecycle flight recorder: trace IDs on every batch, /debug/flight, dumps on degrade and slow batches")
 		flightDepth = flag.Int("flight-depth", 0, "flight recorder ring capacity in events (0 = default 4096; with -flight)")
+		apiAddr     = flag.String("api-addr", "", "serve the HTTP/JSON query API (/v1/snapshot, /v1/topk, /v1/value, /v1/diff) on this address; with -serve -wal-dir also the replication stream at /v1/wal")
+		follow      = flag.String("follow", "", "run as a read replica tailing this leader URL's /v1/wal stream (e.g. http://leader:8080); refuses writes, serves the query API on -api-addr")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -131,6 +153,13 @@ func main() {
 	}
 	if *graphPath == "" {
 		fatal("need -graph")
+	}
+	if *follow != "" {
+		if *serveMode || *streamPath != "" || *shards > 1 {
+			fatal("-follow is a read replica: it takes no -stream, -serve or -shards")
+		}
+	} else if *apiAddr != "" && !*serveMode {
+		fatal("-api-addr requires -serve (or -follow)")
 	}
 	if *shards > 1 {
 		if !*serveMode {
@@ -164,6 +193,7 @@ func main() {
 		admission.RegisterMetrics(reg)
 		flight.RegisterMetrics(reg)
 		partition.RegisterMetrics(reg)
+		graphbolt.RegisterReplicaMetrics(reg)
 		parallel.SetMetrics(reg)
 	}
 	// The recorder is built before the metrics mux so /debug/flight can
@@ -207,13 +237,57 @@ func main() {
 	}
 	tracer := obs.NewTracer(sinks...)
 
+	// The replication log is fed by the durable layer's OnRecord hook
+	// (wired below) and served at GET /v1/wal on the -api-addr listener.
+	// It exists only on a durable leader: without a journal there are no
+	// sequence numbers to ship.
+	var rlog *graphbolt.ReplicationLog
+	if *apiAddr != "" && *follow == "" && *walDir != "" {
+		rlog = graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{Logger: logger})
+		defer rlog.Close()
+	}
+
 	var dcfg *durableConfig
 	if *walDir != "" {
 		policy, err := parseSync(*syncMode)
 		if err != nil {
 			fatal("%v", err)
 		}
-		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy, metrics: reg, tracer: tracer, flight: rec, log: logger}
+		dcfg = &durableConfig{dir: *walDir, every: *ckptEvery, sync: policy, metrics: reg, tracer: tracer, flight: rec, log: logger, rlog: rlog}
+	}
+
+	// The -api-addr listener starts before the serving facade exists:
+	// /v1/* queries answer 503 until -serve constructs the server and
+	// fills the proxy in, while /v1/wal (durable leaders) streams
+	// immediately — a follower may connect before ingest starts.
+	var queryProxy atomic.Pointer[http.Handler]
+	if *apiAddr != "" && *follow == "" {
+		ln, err := net.Listen("tcp", *apiAddr)
+		if err != nil {
+			fatal("api listener: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+			if h := queryProxy.Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"server not started yet"}`)
+		})
+		if rlog != nil {
+			mux.Handle("GET /v1/wal", rlog.Handler())
+		}
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			health.Handler(healthProxy.Load()).ServeHTTP(w, r)
+		})
+		logger.Info("query api", "addr", ln.Addr().String(), "replication", rlog != nil)
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				logger.Error("api server", "err", err)
+			}
+		}()
 	}
 
 	f, err := os.Open(*graphPath)
@@ -246,6 +320,20 @@ func main() {
 		fatal("%v", err)
 	}
 	opts := core.Options{Mode: m, MaxIterations: *iterations, Horizon: *horizon, Retain: *retain, Metrics: reg, Tracer: tracer}
+
+	if *follow != "" {
+		runFollower(*algo, g, opts, followConfig{
+			leaderURL:  *follow,
+			apiAddr:    *apiAddr,
+			source:     graph.VertexID(*source),
+			top:        *top,
+			cacheBytes: *queryCache,
+			durable:    dcfg,
+			metrics:    reg,
+			logger:     logger,
+		})
+		return
+	}
 
 	if *algo == "triangles" {
 		if dcfg != nil {
@@ -291,6 +379,10 @@ func main() {
 			logger:        logger,
 			health:        &healthProxy,
 			flight:        rec,
+			replicating:   rlog != nil,
+		}
+		if *apiAddr != "" {
+			sc.api = &queryProxy
 		}
 		if *admitMode {
 			sc.admission = &graphbolt.AdmissionOptions{
@@ -390,7 +482,8 @@ type runner struct {
 }
 
 // serveConfig carries the -serve flag family. health, when non-nil, is
-// the /healthz proxy the server's tracker is published through.
+// the /healthz proxy the server's tracker is published through; api,
+// when non-nil, receives the query API handler once the server exists.
 type serveConfig struct {
 	readers       int
 	shards        int
@@ -401,11 +494,14 @@ type serveConfig struct {
 	metrics       *obs.Registry
 	logger        *slog.Logger
 	health        *atomic.Pointer[health.Tracker]
-	flight        *flight.Recorder // nil unless -flight
+	flight        *flight.Recorder              // nil unless -flight
+	api           *atomic.Pointer[http.Handler] // nil unless -api-addr
+	replicating   bool                          // a replication log is attached to the journal
 }
 
 // durableConfig carries the -wal-dir flag family plus the process-wide
-// instrumentation hooks.
+// instrumentation hooks. rlog, when non-nil, receives every journaled
+// record (OnRecord) and the checkpoint floor after recovery.
 type durableConfig struct {
 	dir     string
 	every   int
@@ -414,6 +510,7 @@ type durableConfig struct {
 	tracer  *obs.Tracer
 	flight  *flight.Recorder
 	log     *slog.Logger
+	rlog    *graphbolt.ReplicationLog
 }
 
 // wire connects an engine to the runner entry points, inserting the
@@ -430,6 +527,10 @@ func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.St
 		return run, eng.ApplyBatch, func() error { return nil }, sv
 	}
 	run := func() (core.Stats, uint64) {
+		var onRecord func(wal.Record)
+		if cfg.rlog != nil {
+			onRecord = cfg.rlog.Append
+		}
 		var err error
 		d, err = durable.Open(eng, cfg.dir, durable.Options{
 			CheckpointEvery: cfg.every,
@@ -437,9 +538,15 @@ func wire[V, A any](eng *core.Engine[V, A], cfg *durableConfig) (func() (core.St
 			Metrics:         cfg.metrics,
 			Tracer:          cfg.tracer,
 			Flight:          cfg.flight,
+			OnRecord:        onRecord,
 		})
 		if err != nil {
 			fatal("durable: %v", err)
+		}
+		if cfg.rlog != nil {
+			// Records replayed from the WAL suffix arrived through
+			// OnRecord above; the checkpoint-covered prefix is the floor.
+			cfg.rlog.SetFloor(d.Recovery().SnapshotSeq)
 		}
 		if info := d.Recovery(); info.FromSnapshot || info.Replayed > 0 {
 			cfg.log.Info("recovered",
@@ -500,6 +607,13 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 	})
 	if sc.health != nil {
 		sc.health.Store(srv.Health())
+	}
+	if sc.api != nil {
+		if h := queryHandlerFor(srv); h != nil {
+			sc.api.Store(&h)
+		} else {
+			logger.Warn("query api: no handler for this algorithm's value type (scalar-valued algorithms only)")
+		}
 	}
 
 	var (
@@ -612,6 +726,140 @@ func serveBatches[V, A any](eng *core.Engine[V, A], d *durable.Engine[V, A], sc 
 			"slow_batches", fr.SlowBatches())
 	}
 	return nil
+}
+
+// queryHandlerFor builds the /v1/* query handler for the server when
+// its value type supports ordering (QueryHandler requires cmp.Ordered
+// for /v1/topk); vector-valued servers get nil.
+func queryHandlerFor[V, A any](srv *graphbolt.Server[V, A]) http.Handler {
+	switch s := any(srv).(type) {
+	case *graphbolt.Server[float64, float64]:
+		return graphbolt.QueryHandler(s)
+	case *graphbolt.Server[float64, algorithms.CoEMAgg]:
+		return graphbolt.QueryHandler(s)
+	}
+	return nil
+}
+
+// followConfig carries the -follow flag family.
+type followConfig struct {
+	leaderURL  string
+	apiAddr    string
+	source     graph.VertexID // -source, for sssp/bfs
+	top        int
+	cacheBytes int64
+	durable    *durableConfig // nil unless -wal-dir (a restartable follower)
+	metrics    *obs.Registry
+	logger     *slog.Logger
+}
+
+// runFollower dispatches -follow mode to the concretely-typed follow
+// loop. Only scalar-valued algorithms are supported: the query API's
+// top-k endpoint needs an ordered value type.
+func runFollower(algo string, g *graph.Graph, opts core.Options, fc followConfig) {
+	switch algo {
+	case "pagerank":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		follow(eng, fc, "rank")
+	case "coem":
+		n := g.NumVertices()
+		eng, err := core.NewEngine[float64, algorithms.CoEMAgg](g,
+			algorithms.NewCoEM([]graph.VertexID{0}, []graph.VertexID{graph.VertexID(n - 1)}), opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		follow(eng, fc, "score")
+	case "sssp":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewSSSP(fc.source), opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		follow(eng, fc, "distance")
+	case "bfs":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewBFS(fc.source), opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		follow(eng, fc, "hops")
+	case "cc":
+		eng, err := core.NewEngine[float64, float64](g, algorithms.NewConnectedComponents(), opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		follow(eng, fc, "component")
+	default:
+		fatal("-follow supports scalar-valued algorithms (pagerank, coem, sssp, bfs, cc), not %q", algo)
+	}
+}
+
+// follow runs the replica loop in the foreground: build the follower
+// (durable when -wal-dir is set), serve the query API, tail the leader
+// until SIGINT/SIGTERM or a terminal stream fault.
+func follow[A any](eng *core.Engine[float64, A], fc followConfig, valueName string) {
+	logger := fc.logger
+	fopts := graphbolt.FollowerOptions{
+		Metrics:         fc.metrics,
+		QueryCacheBytes: fc.cacheBytes,
+		Logger:          logger,
+	}
+	var f *graphbolt.Follower[float64, A]
+	var err error
+	if fc.durable != nil {
+		d, derr := durable.Open(eng, fc.durable.dir, durable.Options{
+			CheckpointEvery: fc.durable.every,
+			WAL:             wal.Options{Sync: fc.durable.sync},
+			Metrics:         fc.durable.metrics,
+			Tracer:          fc.durable.tracer,
+			Flight:          fc.durable.flight,
+		})
+		if derr != nil {
+			fatal("durable: %v", derr)
+		}
+		defer d.Close()
+		if info := d.Recovery(); info.FromSnapshot || info.Replayed > 0 {
+			logger.Info("follower recovered", "dir", fc.durable.dir, "resume_from", d.Seq())
+		}
+		f, err = graphbolt.NewDurableFollower(d, fc.leaderURL, fopts)
+	} else {
+		f, err = graphbolt.NewFollower(eng, nil, fc.leaderURL, fopts)
+	}
+	if err != nil {
+		fatal("follow: %v", err)
+	}
+	if fc.apiAddr != "" {
+		ln, lerr := net.Listen("tcp", fc.apiAddr)
+		if lerr != nil {
+			fatal("api listener: %v", lerr)
+		}
+		api := graphbolt.FollowerQueryHandler(f)
+		var h http.Handler = api
+		if fc.metrics != nil {
+			h = obs.HandlerWith(fc.metrics, map[string]http.Handler{"/v1/": api})
+		}
+		logger.Info("follower query api", "addr", ln.Addr().String())
+		go func() {
+			if serr := http.Serve(ln, h); serr != nil {
+				logger.Error("api server", "err", serr)
+			}
+		}()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("following", "leader", fc.leaderURL, "durable", fc.durable != nil)
+	err = f.Run(ctx)
+	if ctx.Err() == nil && err != nil {
+		fatal("follow: %v", err)
+	}
+	logger.Info("follower stopped",
+		"applied", f.AppliedSeq(),
+		"leader_seq", f.LeaderSeq(),
+		"lag", f.Lag(),
+		"records", f.Records(),
+		"resumes", f.Resumes())
+	printTop(valueName, eng.Values(), fc.top)
 }
 
 func parseSync(s string) (wal.SyncPolicy, error) {

@@ -78,7 +78,23 @@ type Options struct {
 	// marked active) and is propagated to the WAL unless WAL.Flight is
 	// already set, so fsync events land in the same ring.
 	Flight *flight.Recorder
+	// OnRecord, when non-nil, observes every record that is both
+	// journaled and applied: once per record replayed from the local WAL
+	// during Open, then once per ApplyBatch/ApplyRecord. Records that
+	// were rolled back (Unappend after a failed apply) or skipped at
+	// recovery because the checkpoint already covers them are never
+	// reported — the sequence a subscriber sees is exactly the batches
+	// inside the engine's published state beyond the checkpoint. The
+	// replication log (internal/replica) subscribes here to ship the
+	// journal to followers. Called synchronously on the write path; keep
+	// it fast.
+	OnRecord func(rec wal.Record)
 }
+
+// ErrOutOfOrder reports an ApplyRecord whose sequence number is not
+// exactly one past the last applied batch — a gap would silently lose a
+// batch and a smaller seq would double-apply one, so both are refused.
+var ErrOutOfOrder = errors.New("durable: record out of order")
 
 // RecoveryInfo describes how Open reconstructed the engine state.
 type RecoveryInfo struct {
@@ -192,6 +208,9 @@ func (d *Engine[V, A]) recover() error {
 		d.seq = rec.Seq
 		d.since++
 		d.info.Replayed++
+		if d.opts.OnRecord != nil {
+			d.opts.OnRecord(rec)
+		}
 	}
 	return nil
 }
@@ -259,13 +278,36 @@ func (d *Engine[V, A]) Graph() *graph.Graph { return d.eng.Graph() }
 // surfaces through Ailment instead (a retry would otherwise apply the
 // batch twice).
 func (d *Engine[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
+	return d.applySeq(d.seq+1, b)
+}
+
+// ApplyRecord replays a record produced elsewhere — the follower half
+// of WAL shipping (internal/replica): the leader's journal record is
+// journaled locally and applied under the leader's sequence number, so
+// the follower's log is byte-compatible with the leader's and its own
+// recovery resumes at exactly the right position. The record's sequence
+// number must be exactly Seq()+1: a gap means records were lost in
+// transit (refuse, reconnect, and re-fetch), a stale seq means the
+// record is already applied (refuse so the caller's dedup logic stays
+// honest). Both refusals wrap ErrOutOfOrder and leave the engine
+// untouched.
+func (d *Engine[V, A]) ApplyRecord(rec wal.Record) error {
+	if rec.Seq != d.seq+1 {
+		return fmt.Errorf("%w: record seq %d, next expected %d", ErrOutOfOrder, rec.Seq, d.seq+1)
+	}
+	_, err := d.applySeq(rec.Seq, rec.Batch)
+	return err
+}
+
+// applySeq is the shared journal-before-mutate path behind ApplyBatch
+// (seq assigned locally) and ApplyRecord (seq assigned by a leader).
+func (d *Engine[V, A]) applySeq(seq uint64, b graph.Batch) (core.Stats, error) {
 	if d.ailment != nil {
 		return core.Stats{}, fmt.Errorf("durable: journal degraded: %w", d.ailment)
 	}
 	if err := b.Validate(); err != nil {
 		return core.Stats{}, fmt.Errorf("durable: %w", err)
 	}
-	seq := d.seq + 1
 	jStart := time.Now()
 	if err := d.w.Append(seq, b); err != nil {
 		d.opts.Flight.Journal(seq, time.Since(jStart), true)
@@ -285,6 +327,9 @@ func (d *Engine[V, A]) ApplyBatch(b graph.Batch) (core.Stats, error) {
 	}
 	d.seq = seq
 	d.since++
+	if d.opts.OnRecord != nil {
+		d.opts.OnRecord(wal.Record{Seq: seq, Batch: b})
+	}
 	if d.opts.CheckpointEvery > 0 && d.since >= d.opts.CheckpointEvery {
 		// A checkpoint failure here surfaces through Ailment, not the
 		// return value: the batch is journaled and applied, and an error

@@ -1,0 +1,226 @@
+package replica
+
+import (
+	"cmp"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/qcache"
+)
+
+// Source is the read surface the query API serves — satisfied by both
+// the root package's Server (the leader) and a Follower, which is the
+// point: one API handler, mounted on either side of the replication
+// stream, so readers cannot tell (and need not care) which process
+// answers them.
+type Source[V any] interface {
+	Snapshot() *core.ResultSnapshot[V]
+	SnapshotAt(gen uint64) (*core.ResultSnapshot[V], error)
+	Diff(from, to uint64) (*core.SnapshotDiff[V], error)
+	RetainedGenerations() (oldest, newest uint64)
+	Cache() *qcache.Cache
+}
+
+// SnapshotMeta is the JSON shape of /v1/snapshot and /v1/snapshot/{gen}.
+type SnapshotMeta struct {
+	Generation     uint64    `json:"generation"`
+	Vertices       int       `json:"vertices"`
+	Edges          int64     `json:"edges"`
+	Level          uint64    `json:"level"`
+	PublishedAt    time.Time `json:"published_at"`
+	RetainedOldest uint64    `json:"retained_oldest"`
+	RetainedNewest uint64    `json:"retained_newest"`
+}
+
+// TopKResponse is the JSON shape of /v1/topk.
+type TopKResponse[V any] struct {
+	Generation uint64        `json:"generation"`
+	K          int           `json:"k"`
+	Top        []TopEntry[V] `json:"top"`
+}
+
+// TopEntry is one /v1/topk element.
+type TopEntry[V any] struct {
+	Vertex graph.VertexID `json:"vertex"`
+	Value  V              `json:"value"`
+}
+
+// ValueResponse is the JSON shape of /v1/value/{vertex}.
+type ValueResponse[V any] struct {
+	Generation uint64         `json:"generation"`
+	Vertex     graph.VertexID `json:"vertex"`
+	Value      V              `json:"value"`
+}
+
+// DiffResponse is the JSON shape of /v1/diff.
+type DiffResponse[V any] struct {
+	From        uint64           `json:"from"`
+	To          uint64           `json:"to"`
+	Changed     []graph.VertexID `json:"changed"`
+	Before      []V              `json:"before"`
+	After       []V              `json:"after"`
+	VertexDelta int              `json:"vertex_delta"`
+	EdgeDelta   int64            `json:"edge_delta"`
+}
+
+// API returns the HTTP/JSON query surface over src:
+//
+//	GET /v1/snapshot            newest snapshot metadata
+//	GET /v1/snapshot/{gen}      metadata for a retained generation
+//	GET /v1/topk?k=N[&gen=G]    top-N vertices by value (qcache-memoized)
+//	GET /v1/value/{vertex}[?gen=G]  one vertex's value
+//	GET /v1/diff?from=F&to=T    changed vertices between two generations
+//
+// Errors are JSON ({"error", "detail"}): 400 for malformed parameters,
+// 404 for a vertex outside the snapshot, 410 (Gone) for a generation
+// outside the retention window — the condition is permanent, the
+// snapshot is never coming back — and 503 before anything is published.
+// Non-GET methods get 405 from the mux.
+func API[V cmp.Ordered](src Source[V]) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s := src.Snapshot()
+		if s == nil {
+			httpError(w, http.StatusServiceUnavailable, "nothing published yet", "")
+			return
+		}
+		writeSnapshotMeta(w, src, s)
+	})
+	mux.HandleFunc("GET /v1/snapshot/{gen}", func(w http.ResponseWriter, r *http.Request) {
+		gen, err := strconv.ParseUint(r.PathValue("gen"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "malformed generation", err.Error())
+			return
+		}
+		s, err := src.SnapshotAt(gen)
+		if err != nil {
+			snapshotError(w, err)
+			return
+		}
+		writeSnapshotMeta(w, src, s)
+	})
+	mux.HandleFunc("GET /v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		k := 10
+		if s := r.URL.Query().Get("k"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				httpError(w, http.StatusBadRequest, "malformed k parameter", "k must be a positive integer")
+				return
+			}
+			k = v
+		}
+		s, ok := resolveSnapshot(w, src, r.URL.Query().Get("gen"))
+		if !ok {
+			return
+		}
+		top := qcache.TopK(src.Cache(), s, k)
+		resp := TopKResponse[V]{Generation: s.Generation, K: k, Top: make([]TopEntry[V], len(top))}
+		for i, t := range top {
+			resp.Top[i] = TopEntry[V]{Vertex: t.Vertex, Value: t.Value}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /v1/value/{vertex}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := strconv.ParseUint(r.PathValue("vertex"), 10, 64)
+		if err != nil || graph.VertexID(v) > graph.MaxVertexID {
+			httpError(w, http.StatusBadRequest, "malformed vertex id", "vertex must be a non-negative integer")
+			return
+		}
+		s, ok := resolveSnapshot(w, src, r.URL.Query().Get("gen"))
+		if !ok {
+			return
+		}
+		val, ok := qcache.Value(src.Cache(), s, graph.VertexID(v))
+		if !ok {
+			httpError(w, http.StatusNotFound, "vertex not in snapshot",
+				"vertex "+strconv.FormatUint(v, 10)+" is outside generation "+strconv.FormatUint(s.Generation, 10))
+			return
+		}
+		writeJSON(w, ValueResponse[V]{Generation: s.Generation, Vertex: graph.VertexID(v), Value: val})
+	})
+	mux.HandleFunc("GET /v1/diff", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		from, err1 := strconv.ParseUint(q.Get("from"), 10, 64)
+		to, err2 := strconv.ParseUint(q.Get("to"), 10, 64)
+		if q.Get("from") == "" || q.Get("to") == "" || err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "malformed diff parameters",
+				"both from and to must be generation numbers")
+			return
+		}
+		d, err := src.Diff(from, to)
+		if err != nil {
+			snapshotError(w, err)
+			return
+		}
+		resp := DiffResponse[V]{
+			From: d.From, To: d.To,
+			Changed: d.Changed, Before: d.Before, After: d.After,
+			VertexDelta: d.VertexDelta, EdgeDelta: d.EdgeDelta,
+		}
+		if resp.Changed == nil {
+			resp.Changed = []graph.VertexID{}
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+// resolveSnapshot picks the snapshot a query runs against: the newest
+// when genParam is empty, SnapshotAt otherwise. On failure it writes
+// the error response and reports !ok.
+func resolveSnapshot[V any](w http.ResponseWriter, src Source[V], genParam string) (*core.ResultSnapshot[V], bool) {
+	if genParam == "" {
+		s := src.Snapshot()
+		if s == nil {
+			httpError(w, http.StatusServiceUnavailable, "nothing published yet", "")
+			return nil, false
+		}
+		return s, true
+	}
+	gen, err := strconv.ParseUint(genParam, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "malformed gen parameter", err.Error())
+		return nil, false
+	}
+	s, err := src.SnapshotAt(gen)
+	if err != nil {
+		snapshotError(w, err)
+		return nil, false
+	}
+	return s, true
+}
+
+// snapshotError maps SnapshotAt/Diff failures onto status codes: a
+// generation outside the retention window is 410 Gone — evicted
+// snapshots never return, so clients should stop asking — with the
+// engine's ErrGenerationNotRetained detail preserved in the body.
+func snapshotError(w http.ResponseWriter, err error) {
+	if errors.Is(err, core.ErrGenerationNotRetained) {
+		httpError(w, http.StatusGone, core.ErrGenerationNotRetained.Error(), err.Error())
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "snapshot lookup failed", err.Error())
+}
+
+func writeSnapshotMeta[V any](w http.ResponseWriter, src Source[V], s *core.ResultSnapshot[V]) {
+	oldest, newest := src.RetainedGenerations()
+	writeJSON(w, SnapshotMeta{
+		Generation:     s.Generation,
+		Vertices:       s.Graph.NumVertices(),
+		Edges:          s.Graph.NumEdges(),
+		Level:          uint64(s.Level),
+		PublishedAt:    s.PublishedAt,
+		RetainedOldest: oldest,
+		RetainedNewest: newest,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

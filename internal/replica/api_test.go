@@ -1,0 +1,258 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/qcache"
+	"repro/internal/serve"
+)
+
+// newTestEngine builds a small PageRank engine over a chain graph with
+// history retention. The engine has not run yet.
+func newTestEngine(t testing.TB, n int) *core.Engine[float64, float64] {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{From: graph.VertexID(i), To: graph.VertexID(i + 1), Weight: 1})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine[float64, float64](g, algorithms.NewPageRank(), core.Options{
+		MaxIterations: 10,
+		Retain:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// engineSource adapts a bare engine as a Source for API tests.
+type engineSource struct {
+	eng *core.Engine[float64, float64]
+}
+
+func (s engineSource) Snapshot() *core.ResultSnapshot[float64] { return s.eng.Snapshot() }
+func (s engineSource) SnapshotAt(gen uint64) (*core.ResultSnapshot[float64], error) {
+	return s.eng.SnapshotAt(gen)
+}
+func (s engineSource) Diff(from, to uint64) (*core.SnapshotDiff[float64], error) {
+	return s.eng.DiffSnapshots(from, to)
+}
+func (s engineSource) RetainedGenerations() (oldest, newest uint64) {
+	return s.eng.RetainedGenerations()
+}
+func (s engineSource) Cache() *qcache.Cache { return nil }
+
+// apiServer publishes 4 generations with Retain 2 (window [3,4]) and
+// serves the query API over them.
+func apiServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := newTestEngine(t, 6)
+	eng.Run()
+	for i := 0; i < 3; i++ {
+		b := graph.Batch{Add: []graph.Edge{{From: 0, To: graph.VertexID(i + 2), Weight: 1}}}
+		if _, err := eng.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(API[float64](engineSource{eng}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	dec := json.NewDecoder(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := dec.Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return resp.StatusCode, ""
+	}
+	var e struct {
+		Error  string `json:"error"`
+		Detail string `json:"detail"`
+	}
+	if err := dec.Decode(&e); err == nil {
+		buf.WriteString(e.Error)
+		if e.Detail != "" {
+			buf.WriteString(": " + e.Detail)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// TestAPISnapshotEndpoints: current and per-generation metadata carry
+// the generation, sizes and retention window.
+func TestAPISnapshotEndpoints(t *testing.T) {
+	ts := apiServer(t)
+	var meta SnapshotMeta
+	if code, _ := getJSON(t, ts, "/v1/snapshot", &meta); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if meta.Generation != 4 || meta.Vertices != 6 || meta.RetainedOldest != 3 || meta.RetainedNewest != 4 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	var at SnapshotMeta
+	if code, _ := getJSON(t, ts, "/v1/snapshot/3", &at); code != http.StatusOK || at.Generation != 3 {
+		t.Fatalf("snapshot/3: code %d meta %+v", code, at)
+	}
+}
+
+// TestAPIEvictedGenerationIs410: a generation outside the retention
+// window returns 410 Gone with the ErrGenerationNotRetained detail —
+// the contract pinned by the ISSUE: clients must be told the snapshot
+// is permanently gone, not that they erred.
+func TestAPIEvictedGenerationIs410(t *testing.T) {
+	ts := apiServer(t)
+	for _, path := range []string{"/v1/snapshot/1", "/v1/topk?gen=1", "/v1/value/0?gen=1", "/v1/diff?from=1&to=4"} {
+		code, body := getJSON(t, ts, path, nil)
+		if code != http.StatusGone {
+			t.Errorf("%s: status %d, want 410", path, code)
+		}
+		if !strings.Contains(body, core.ErrGenerationNotRetained.Error()) {
+			t.Errorf("%s: body %q lacks ErrGenerationNotRetained detail", path, body)
+		}
+	}
+}
+
+// TestAPIMalformedRequestsAre400: malformed parameters are client
+// errors, never 500s.
+func TestAPIMalformedRequestsAre400(t *testing.T) {
+	ts := apiServer(t)
+	for _, path := range []string{
+		"/v1/snapshot/notanumber",
+		"/v1/snapshot/-1",
+		"/v1/topk?k=notanumber",
+		"/v1/topk?k=0",
+		"/v1/topk?k=-3",
+		"/v1/topk?gen=xyz",
+		"/v1/value/notanumber",
+		"/v1/value/0?gen=xyz",
+		"/v1/diff?from=1",
+		"/v1/diff?to=2",
+		"/v1/diff?from=a&to=b",
+		"/v1/diff",
+	} {
+		if code, _ := getJSON(t, ts, path, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+// TestAPITopKAndValue: top-k is ordered and value lookups round-trip;
+// an out-of-range vertex is 404.
+func TestAPITopKAndValue(t *testing.T) {
+	ts := apiServer(t)
+	var topk TopKResponse[float64]
+	if code, _ := getJSON(t, ts, "/v1/topk?k=3", &topk); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if topk.K != 3 || len(topk.Top) != 3 {
+		t.Fatalf("topk = %+v", topk)
+	}
+	for i := 1; i < len(topk.Top); i++ {
+		if topk.Top[i].Value > topk.Top[i-1].Value {
+			t.Fatalf("topk not descending: %+v", topk.Top)
+		}
+	}
+	var val ValueResponse[float64]
+	if code, _ := getJSON(t, ts, "/v1/value/"+strconv.FormatUint(uint64(topk.Top[0].Vertex), 10), &val); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if val.Value != topk.Top[0].Value {
+		t.Fatalf("value %v != topk head %v", val.Value, topk.Top[0].Value)
+	}
+	if code, _ := getJSON(t, ts, "/v1/value/99999", nil); code != http.StatusNotFound {
+		t.Fatalf("out-of-range vertex: status %d, want 404", code)
+	}
+}
+
+// TestAPIDiff: diff between the retained window's ends reports the
+// changed vertices with parallel before/after arrays.
+func TestAPIDiff(t *testing.T) {
+	ts := apiServer(t)
+	var d DiffResponse[float64]
+	if code, _ := getJSON(t, ts, "/v1/diff?from=3&to=4", &d); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if d.From != 3 || d.To != 4 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if len(d.Changed) != len(d.Before) || len(d.Changed) != len(d.After) {
+		t.Fatalf("parallel arrays diverge: %d/%d/%d", len(d.Changed), len(d.Before), len(d.After))
+	}
+}
+
+// TestAPIMethodNotAllowed: writes to read endpoints are 405, and the
+// API carries no write route at all.
+func TestAPIMethodNotAllowed(t *testing.T) {
+	ts := apiServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/v1/snapshot", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/snapshot: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAPINothingPublished: before the first Run, reads are 503 (come
+// back soon), not 500.
+func TestAPINothingPublished(t *testing.T) {
+	eng := newTestEngine(t, 4)
+	ts := httptest.NewServer(API[float64](engineSource{eng}))
+	defer ts.Close()
+	for _, path := range []string{"/v1/snapshot", "/v1/topk", "/v1/value/0"} {
+		if code, _ := getJSON(t, ts, path, nil); code != http.StatusServiceUnavailable {
+			t.Errorf("%s: status %d, want 503", path, code)
+		}
+	}
+}
+
+// TestFollowerSubmitRefuses: the write path on a follower fails with
+// ErrFollower in the retryable shape — errors.Is sees the sentinel,
+// errors.As finds the RetryableError, and the backoff hint is positive.
+func TestFollowerSubmitRefuses(t *testing.T) {
+	l := NewLog(LogOptions{})
+	defer l.Close()
+	ts := httptest.NewServer(l.Handler())
+	defer ts.Close()
+	f, err := NewFollower(newTestEngine(t, 4), nil, ts.URL, FollowerOptions{Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Submit(nil, graph.Batch{Add: []graph.Edge{{From: 0, To: 1, Weight: 1}}})
+	if !errors.Is(err, ErrFollower) {
+		t.Fatalf("Submit = %v, want ErrFollower", err)
+	}
+	var re *serve.RetryableError
+	if !errors.As(err, &re) {
+		t.Fatalf("Submit error %T is not a *serve.RetryableError", err)
+	}
+	if re.After <= 0 {
+		t.Fatalf("RetryAfter hint %v, want positive", re.After)
+	}
+	if after, ok := serve.RetryAfter(err); !ok || after <= 0 {
+		t.Fatalf("serve.RetryAfter = %v, %v", after, ok)
+	}
+}

@@ -1,0 +1,440 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// RecordApplier is the follower's replay sink: ApplyRecord replays one
+// leader journal record, Seq reports the last applied sequence number
+// (the resume position). durable.Engine implements it directly — a
+// durable follower re-journals every record locally, so a restart
+// resumes from disk at the exact sequence it stopped at. An in-memory
+// follower uses the applier returned by NewEngineApplier and restarts
+// from zero.
+//
+// The Follower guarantees ApplyRecord is called with strictly
+// consecutive sequence numbers from a single goroutine.
+type RecordApplier interface {
+	ApplyRecord(rec wal.Record) error
+	Seq() uint64
+}
+
+// engineApplier adapts a bare core.Engine as a RecordApplier for
+// in-memory (non-durable) followers.
+type engineApplier[V, A any] struct {
+	eng *core.Engine[V, A]
+	seq uint64
+}
+
+// NewEngineApplier wraps a core engine as a RecordApplier starting at
+// sequence 0 (a fresh follower that needs the full stream).
+func NewEngineApplier[V, A any](eng *core.Engine[V, A]) RecordApplier {
+	return &engineApplier[V, A]{eng: eng}
+}
+
+func (a *engineApplier[V, A]) ApplyRecord(rec wal.Record) error {
+	if rec.Seq != a.seq+1 {
+		return fmt.Errorf("%w: record seq %d, next expected %d", durable.ErrOutOfOrder, rec.Seq, a.seq+1)
+	}
+	if _, err := a.eng.ApplyBatch(rec.Batch); err != nil {
+		return err
+	}
+	a.seq = rec.Seq
+	return nil
+}
+
+func (a *engineApplier[V, A]) Seq() uint64 { return a.seq }
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Client performs the stream requests; nil uses http.DefaultClient.
+	// The client's Timeout must be zero — the stream is long-lived.
+	Client *http.Client
+	// Backoff paces reconnect attempts. The zero value applies the
+	// backoff package defaults (20ms base, 5s cap).
+	Backoff backoff.Policy
+	// Metrics, when non-nil, receives the graphbolt_replica_* series.
+	Metrics *obs.Registry
+	// QueryCacheBytes bounds the follower's per-generation query cache,
+	// exactly like ServerOptions.QueryCacheBytes. 0 disables caching.
+	QueryCacheBytes int64
+	// Logger receives reconnect and stream-fault warnings; nil uses
+	// slog.Default().
+	Logger *slog.Logger
+	// OnApply, when non-nil, is called from the replay goroutine after
+	// every applied record. Keep it fast.
+	OnApply func(rec wal.Record)
+}
+
+// Follower tails a leader's replication stream and replays it into a
+// local engine, exposing the same read surface a Server does: the BSP
+// guarantee means its SnapshotAt(g) is the leader's SnapshotAt(g) for
+// every generation it has acked (g = applied seq + 1; see DESIGN.md).
+//
+// The replay goroutine (Run) is the only writer; every read method is
+// safe from any goroutine, riding the engine's lock-free snapshot path.
+type Follower[V, A any] struct {
+	eng    *core.Engine[V, A]
+	ap     RecordApplier
+	base   *url.URL
+	opts   FollowerOptions
+	cache  *qcache.Cache
+	met    metrics
+	logger *slog.Logger
+
+	applied   atomic.Uint64 // last applied sequence number
+	leaderSeq atomic.Uint64 // newest sequence the leader has announced
+	records   atomic.Uint64 // records applied from the stream
+	resumes   atomic.Uint64 // reconnects after the first connection
+
+	mu        sync.Mutex
+	lastErr   error     // latest transient stream fault (cleared on connect)
+	caughtUp  time.Time // last instant lag was 0
+	connected bool      // a connection has succeeded at least once
+
+	runDone chan struct{} // closed when Run returns (set by Start)
+	cancel  context.CancelFunc
+}
+
+// NewFollower builds a follower over a fresh or recovered engine. ap is
+// the replay sink; pass the durable engine itself for a durable
+// follower, or NewEngineApplier(eng) (or nil, which does that) for an
+// in-memory one. leaderURL is the base URL of the leader's HTTP
+// surface; the stream is fetched from leaderURL + "/v1/wal".
+func NewFollower[V, A any](eng *core.Engine[V, A], ap RecordApplier, leaderURL string, opts FollowerOptions) (*Follower[V, A], error) {
+	if eng == nil {
+		return nil, fmt.Errorf("replica: nil engine")
+	}
+	u, err := url.Parse(leaderURL)
+	if err != nil {
+		return nil, fmt.Errorf("replica: leader url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("replica: leader url %q: scheme must be http or https", leaderURL)
+	}
+	if ap == nil {
+		ap = NewEngineApplier(eng)
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	f := &Follower[V, A]{
+		eng:    eng,
+		ap:     ap,
+		base:   u,
+		opts:   opts,
+		cache:  qcache.New(opts.QueryCacheBytes, opts.Metrics),
+		met:    newMetrics(opts.Metrics),
+		logger: logger,
+	}
+	f.mu.Lock()
+	f.caughtUp = time.Now()
+	f.mu.Unlock()
+	return f, nil
+}
+
+// NewDurableFollower builds a follower whose applier is a durable
+// engine: every streamed record is re-journaled locally before it
+// mutates state, so a killed follower reopens its directory and resumes
+// from the exact sequence number it last acked — the seq-exact restart
+// the chaos tests assert.
+func NewDurableFollower[V, A any](d *durable.Engine[V, A], leaderURL string, opts FollowerOptions) (*Follower[V, A], error) {
+	if d == nil {
+		return nil, fmt.Errorf("replica: nil durable engine")
+	}
+	return NewFollower(d.Core(), d, leaderURL, opts)
+}
+
+// Run tails the leader until ctx is cancelled, reconnecting with
+// backoff across stream faults and leader outages. It returns ctx.Err()
+// on cancellation, or a terminal error: the leader compacted past our
+// resume position (ErrLogCompacted) or the local applier rejected a
+// record. It runs the engine's initial computation first if the engine
+// has never published (generation parity with the leader requires both
+// sides to start from the same base graph).
+func (f *Follower[V, A]) Run(ctx context.Context) error {
+	if f.eng.Snapshot() == nil {
+		f.eng.Run()
+	}
+	f.applied.Store(f.ap.Seq())
+	f.updateLag()
+	attempt := 0
+	for {
+		err := f.stream(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		switch {
+		case err == nil:
+			// Leader closed the stream cleanly (shutdown); keep retrying
+			// at the backoff cadence — it may come back.
+			attempt++
+		case isTerminal(err):
+			f.setErr(err)
+			return err
+		default:
+			f.setErr(err)
+			f.logger.Warn("replica: stream interrupted; will resume",
+				"applied", f.applied.Load(), "err", err)
+			attempt++
+		}
+		delay := f.opts.Backoff.Delay(attempt - 1)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Start launches Run in a goroutine. Use Close to stop it.
+func (f *Follower[V, A]) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	f.mu.Lock()
+	f.cancel, f.runDone = cancel, done
+	f.mu.Unlock()
+	go func() {
+		defer close(done)
+		if err := f.Run(ctx); err != nil && ctx.Err() == nil {
+			f.logger.Error("replica: follower stopped", "err", err)
+		}
+	}()
+}
+
+// Close stops a Start-ed follower and waits for the replay goroutine to
+// exit (bounded by ctx). It does not close the engine.
+func (f *Follower[V, A]) Close(ctx context.Context) error {
+	f.mu.Lock()
+	cancel, done := f.cancel, f.runDone
+	f.mu.Unlock()
+	if cancel == nil {
+		return nil
+	}
+	cancel()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isTerminal reports faults no amount of reconnecting can fix.
+func isTerminal(err error) bool {
+	return errors.Is(err, ErrLogCompacted) || errors.Is(err, durable.ErrOutOfOrder) ||
+		errors.Is(err, graph.ErrInvalidBatch)
+}
+
+// stream runs one connection lifecycle: connect, resume from the last
+// applied sequence, apply messages until the connection breaks.
+func (f *Follower[V, A]) stream(ctx context.Context) error {
+	u := *f.base
+	u.Path, _ = url.JoinPath(u.Path, "/v1/wal")
+	q := u.Query()
+	q.Set("from", strconv.FormatUint(f.applied.Load(), 10))
+	u.RawQuery = q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	client := f.opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: connect: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return fmt.Errorf("%w (leader floor is past seq %d)", ErrLogCompacted, f.applied.Load())
+	default:
+		return fmt.Errorf("replica: leader returned %s", resp.Status)
+	}
+	wr := newWireReader(resp.Body)
+	leaderSeq, err := wr.hello()
+	if err != nil {
+		return err
+	}
+	f.noteLeader(leaderSeq)
+	f.markConnected()
+	for {
+		msg, err := wr.next()
+		if err != nil {
+			return err
+		}
+		switch msg.kind {
+		case kindHeartbeat:
+			f.noteLeader(msg.leaderSeq)
+		case kindRecord:
+			if err := f.apply(msg.rec); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// apply replays one record, enforcing the never-skip, never-double
+// invariant: records at or below the applied position are duplicates
+// from a resume overlap and are dropped; a gap is a protocol fault that
+// drops the connection (the leader will replay from our position).
+func (f *Follower[V, A]) apply(rec wal.Record) error {
+	cur := f.applied.Load()
+	if rec.Seq <= cur {
+		return nil // duplicate from resume overlap
+	}
+	if rec.Seq != cur+1 {
+		return fmt.Errorf("%w: record seq %d after %d", ErrStreamCorrupt, rec.Seq, cur)
+	}
+	if err := f.ap.ApplyRecord(rec); err != nil {
+		return fmt.Errorf("replica: apply seq %d: %w", rec.Seq, err)
+	}
+	f.applied.Store(rec.Seq)
+	f.records.Add(1)
+	f.met.records.Inc()
+	f.noteLeader(rec.Seq)
+	if f.opts.OnApply != nil {
+		f.opts.OnApply(rec)
+	}
+	return nil
+}
+
+// noteLeader folds a leader progress signal into the lag gauges.
+func (f *Follower[V, A]) noteLeader(seq uint64) {
+	for {
+		cur := f.leaderSeq.Load()
+		if seq <= cur {
+			break
+		}
+		if f.leaderSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	f.updateLag()
+}
+
+func (f *Follower[V, A]) updateLag() {
+	lag := f.Lag()
+	f.met.lagGenerations.Set(float64(lag))
+	f.mu.Lock()
+	if lag == 0 {
+		f.caughtUp = time.Now()
+	}
+	since := time.Since(f.caughtUp)
+	f.mu.Unlock()
+	if lag == 0 {
+		f.met.lagSeconds.Set(0)
+	} else {
+		f.met.lagSeconds.Set(since.Seconds())
+	}
+}
+
+func (f *Follower[V, A]) markConnected() {
+	f.mu.Lock()
+	first := !f.connected
+	f.connected = true
+	f.lastErr = nil
+	f.mu.Unlock()
+	if !first {
+		f.resumes.Add(1)
+		f.met.resumes.Inc()
+	}
+}
+
+func (f *Follower[V, A]) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// Err returns the most recent stream fault, nil while the stream is
+// healthy. Terminal faults stay set after Run returns.
+func (f *Follower[V, A]) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// AppliedSeq returns the last applied sequence number — the resume
+// position.
+func (f *Follower[V, A]) AppliedSeq() uint64 { return f.applied.Load() }
+
+// LeaderSeq returns the newest sequence number the leader has
+// announced (via hello, heartbeats, or shipped records).
+func (f *Follower[V, A]) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// Lag returns LeaderSeq − AppliedSeq: the number of generations the
+// follower trails the leader's journal, 0 when caught up.
+func (f *Follower[V, A]) Lag() uint64 {
+	l, a := f.leaderSeq.Load(), f.applied.Load()
+	if l <= a {
+		return 0
+	}
+	return l - a
+}
+
+// Records returns the number of records applied from the stream.
+func (f *Follower[V, A]) Records() uint64 { return f.records.Load() }
+
+// Resumes returns the number of reconnects after the first connection.
+func (f *Follower[V, A]) Resumes() uint64 { return f.resumes.Load() }
+
+// Snapshot returns the follower's newest published snapshot (nil before
+// the initial computation finishes).
+func (f *Follower[V, A]) Snapshot() *core.ResultSnapshot[V] { return f.eng.Snapshot() }
+
+// SnapshotAt returns the retained snapshot for generation gen, exactly
+// as the leader's SnapshotAt does (errors wrap
+// core.ErrGenerationNotRetained).
+func (f *Follower[V, A]) SnapshotAt(gen uint64) (*core.ResultSnapshot[V], error) {
+	return f.eng.SnapshotAt(gen)
+}
+
+// Diff compares two retained generations.
+func (f *Follower[V, A]) Diff(from, to uint64) (*core.SnapshotDiff[V], error) {
+	return f.eng.DiffSnapshots(from, to)
+}
+
+// RetainedGenerations reports the retained generation window.
+func (f *Follower[V, A]) RetainedGenerations() (oldest, newest uint64) {
+	return f.eng.RetainedGenerations()
+}
+
+// Cache returns the follower's query cache (nil when caching is off) —
+// the same contract as Server.Cache, so the query API serves either.
+func (f *Follower[V, A]) Cache() *qcache.Cache { return f.cache }
+
+// Submit refuses: followers are read-only. The error wraps ErrFollower
+// in the serve layer's retryable shape so generic clients back off and
+// redirect to the leader.
+func (f *Follower[V, A]) Submit(context.Context, graph.Batch) (*serve.Ticket, error) {
+	return nil, &serve.RetryableError{
+		Sentinel: ErrFollower,
+		After:    serve.DefaultRetryAfter,
+		Detail:   fmt.Sprintf("this process follows %s; submit writes there", f.base),
+	}
+}

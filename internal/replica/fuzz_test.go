@@ -1,0 +1,120 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// validStream builds hello + the given messages, the way Handler does.
+func validStream(leaderSeq uint64, msgs ...[]byte) []byte {
+	buf := appendHello(nil, leaderSeq)
+	for _, m := range msgs {
+		buf = append(buf, m...)
+	}
+	return buf
+}
+
+func recordMsg(seq uint64, b graph.Batch) []byte {
+	return appendRecord(nil, wal.EncodeFrame(seq, b))
+}
+
+// FuzzWireDecode feeds arbitrary byte streams to the replication wire
+// decoder. The decoder must never panic, must classify every failure as
+// ErrStreamCorrupt or wal.ErrFrameCorrupt (a follower drops the
+// connection and resumes by seq on either — a misclassified error would
+// instead kill the follower), and every message it does accept must
+// survive re-encoding with the leader's append helpers and decoding
+// again unchanged. Byte-exact prefix equality is deliberately NOT
+// asserted: binary.Uvarint tolerates non-minimal count encodings, so a
+// fuzzed frame can be semantically valid without being the canonical
+// bytes the leader would emit.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(validStream(0))
+	f.Add(validStream(3,
+		recordMsg(1, graph.Batch{Add: []graph.Edge{{From: 0, To: 1, Weight: 2.5}}}),
+		appendHeartbeat(nil, 1),
+		recordMsg(2, graph.Batch{Del: []graph.Edge{{From: 3, To: 4, Weight: math.Inf(1)}}}),
+		recordMsg(3, graph.Batch{}),
+		appendHeartbeat(nil, 3),
+	))
+	torn := validStream(2, recordMsg(1, graph.Batch{Add: []graph.Edge{{From: 9, To: 9, Weight: 1}}}))
+	f.Add(torn[:len(torn)-5]) // record cut mid-frame
+	f.Add(torn[:12])          // hello cut short
+	corrupt := append([]byte{}, torn...)
+	corrupt[len(corrupt)-2] ^= 0xff // flip a frame body bit: CRC must catch it
+	f.Add(corrupt)
+	f.Add(validStream(1, []byte{'X', 1, 2, 3})) // unknown message tag
+	f.Add([]byte("GBREP999aaaaaaaa"))           // wrong magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wr := newWireReader(bytes.NewReader(data))
+		if _, err := wr.hello(); err != nil {
+			if !errors.Is(err, ErrStreamCorrupt) {
+				t.Fatalf("hello error %v is not ErrStreamCorrupt", err)
+			}
+			return
+		}
+		for {
+			msg, err := wr.next()
+			if err == io.EOF {
+				return // clean message boundary
+			}
+			if err != nil {
+				if !errors.Is(err, ErrStreamCorrupt) && !errors.Is(err, wal.ErrFrameCorrupt) {
+					t.Fatalf("next error %v is neither ErrStreamCorrupt nor ErrFrameCorrupt", err)
+				}
+				return
+			}
+			var re []byte
+			switch msg.kind {
+			case kindHeartbeat:
+				re = appendHeartbeat(nil, msg.leaderSeq)
+			case kindRecord:
+				re = recordMsg(msg.rec.Seq, msg.rec.Batch)
+			default:
+				t.Fatalf("decoder returned unknown kind 0x%02x without error", msg.kind)
+			}
+			again, err := newWireReaderAfterHello(re).next()
+			if err != nil {
+				t.Fatalf("re-decoding a re-encoded message failed: %v", err)
+			}
+			if !messageEqual(again, msg) {
+				t.Fatalf("round trip changed the message: %+v vs %+v", again, msg)
+			}
+		}
+	})
+}
+
+// newWireReaderAfterHello wraps raw message bytes (no hello preamble) in
+// a decoder, for round-trip checks.
+func newWireReaderAfterHello(p []byte) *wireReader {
+	return newWireReader(bytes.NewReader(p))
+}
+
+func messageEqual(a, b message) bool {
+	if a.kind != b.kind || a.leaderSeq != b.leaderSeq || a.rec.Seq != b.rec.Seq {
+		return false
+	}
+	return edgesEqual(a.rec.Batch.Add, b.rec.Batch.Add) && edgesEqual(a.rec.Batch.Del, b.rec.Batch.Del)
+}
+
+// edgesEqual compares edge lists with NaN-safe weight comparison.
+func edgesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To ||
+			math.Float64bits(a[i].Weight) != math.Float64bits(b[i].Weight) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,323 @@
+// Package replicatest is the differential harness for WAL-shipping
+// replication: a leader (durable engine + replication log behind a real
+// HTTP server) streams randomized mutation batches while a follower
+// tails it over the wire, and after every leader batch the harness
+// waits for the follower to ack and asserts that the follower's
+// SnapshotAt(g) is structure- and value-identical to the leader's for
+// every generation the follower has acked.
+//
+// This is the replication restatement of the difftest invariant: the
+// paper's BSP semantics promise that generation g is a pure function of
+// the base graph and batches 1..g-1, so a follower that replayed the
+// same journal prefix must hold the same snapshots — not approximately,
+// not eventually-converging: identical per generation, throughout the
+// stream, while a concurrent reader hammers the follower's ring under
+// -race.
+package replicatest
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/replica"
+)
+
+// Config shapes one replication run.
+type Config struct {
+	// Seed drives every random choice; runs are deterministic per seed.
+	Seed uint64
+	// Batches is the number of mutation batches streamed. Default 100.
+	Batches int
+	// MaxIterations bounds both engines. Default 10.
+	MaxIterations int
+	// CheckEvery is the batch interval between full equivalence sweeps
+	// (every acked generation compared). The final sweep always runs.
+	// Default 10.
+	CheckEvery int
+	// DurableFollower re-journals streamed records into a follower-side
+	// WAL (the restartable configuration) instead of the in-memory
+	// applier.
+	DurableFollower bool
+	// CheckpointEvery sets the leader's checkpoint cadence (0 = never),
+	// proving the replication log's independence from WAL truncation.
+	CheckpointEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batches <= 0 {
+		c.Batches = 100
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 10
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 10
+	}
+	return c
+}
+
+// state mirrors the graph's evolution so leader and follower can be
+// seeded with independently built but identical base graphs.
+type state struct {
+	n     int
+	edges []graph.Edge
+}
+
+func randomState(r *gen.RNG) state {
+	n := 5 + r.Intn(40)
+	edges := make([]graph.Edge, r.Intn(5*n))
+	for i := range edges {
+		edges[i] = graph.Edge{
+			From:   graph.VertexID(r.Intn(n)),
+			To:     graph.VertexID(r.Intn(n)),
+			Weight: float64(r.Intn(6) + 1),
+		}
+	}
+	return state{n: n, edges: edges}
+}
+
+func (s state) build(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.Build(s.n, append([]graph.Edge(nil), s.edges...))
+	if err != nil {
+		t.Fatalf("replicatest: base graph build: %v", err)
+	}
+	return g
+}
+
+// randomBatch mutates around the current vertex horizon, including
+// vertex-growing additions and deletions of real edges.
+func randomBatch(r *gen.RNG, s *state) graph.Batch {
+	var b graph.Batch
+	for i := 0; i < r.Intn(10); i++ {
+		e := graph.Edge{
+			From:   graph.VertexID(r.Intn(s.n + 2)),
+			To:     graph.VertexID(r.Intn(s.n + 2)),
+			Weight: float64(r.Intn(6) + 1),
+		}
+		b.Add = append(b.Add, e)
+		if int(e.From)+1 > s.n {
+			s.n = int(e.From) + 1
+		}
+		if int(e.To)+1 > s.n {
+			s.n = int(e.To) + 1
+		}
+	}
+	for i := 0; i < r.Intn(6) && len(s.edges) > 0; i++ {
+		e := s.edges[r.Intn(len(s.edges))]
+		b.Del = append(b.Del, graph.Edge{From: e.From, To: e.To})
+	}
+	// Track additions only; exact deletion bookkeeping lives in
+	// difftest — here the mirror only needs a plausible edge pool.
+	s.edges = append(s.edges, b.Add...)
+	return b
+}
+
+// Run streams cfg.Batches randomized batches through a leader and
+// asserts leader/follower snapshot equivalence for every acked
+// generation at every sweep. equal compares vertex values (use the
+// difftest comparators' tolerances for float programs).
+func Run[V, A any](t testing.TB, newProg func() core.Program[V, A], equal func(got, want V) bool, cfg Config) {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	r := gen.NewRNG(cfg.Seed)
+	st := randomState(r)
+	engOpts := core.Options{
+		MaxIterations: cfg.MaxIterations,
+		Retain:        cfg.Batches + 1,
+	}
+
+	// Leader: durable engine feeding a replication log, served over a
+	// real HTTP stack so the wire path (chunked responses, flushes,
+	// reconnects) is the one production uses.
+	leaderEng, err := core.NewEngine[V, A](st.build(t), newProg(), engOpts)
+	if err != nil {
+		t.Fatalf("replicatest: leader engine: %v", err)
+	}
+	rlog := replica.NewLog(replica.LogOptions{Heartbeat: 5 * time.Millisecond})
+	leader, err := durable.Open(leaderEng, t.TempDir(), durable.Options{
+		OnRecord:        rlog.Append,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	if err != nil {
+		t.Fatalf("replicatest: leader open: %v", err)
+	}
+	defer leader.Close()
+	defer rlog.Close()
+	ts := httptest.NewServer(rlog.Handler())
+	defer ts.Close()
+
+	// Follower: identical base graph, tailing the stream.
+	followerEng, err := core.NewEngine[V, A](st.build(t), newProg(), engOpts)
+	if err != nil {
+		t.Fatalf("replicatest: follower engine: %v", err)
+	}
+	fopts := replica.FollowerOptions{Client: ts.Client()}
+	var f *replica.Follower[V, A]
+	if cfg.DurableFollower {
+		fd, err := durable.Open(followerEng, t.TempDir(), durable.Options{})
+		if err != nil {
+			t.Fatalf("replicatest: follower open: %v", err)
+		}
+		defer fd.Close()
+		f, err = replica.NewDurableFollower(fd, ts.URL, fopts)
+		if err != nil {
+			t.Fatalf("replicatest: follower: %v", err)
+		}
+	} else {
+		f, err = replica.NewFollower(followerEng, nil, ts.URL, fopts)
+		if err != nil {
+			t.Fatalf("replicatest: follower: %v", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+	defer f.Close(context.Background())
+
+	// A concurrent reader hammers the follower's snapshot ring while
+	// the replay goroutine writes — under -race this proves the read
+	// path of a replica is as lock-free-safe as the leader's.
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		rr := gen.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, newest := f.RetainedGenerations()
+			if newest == 0 {
+				continue
+			}
+			g := 1 + rr.Uint64()%newest
+			snap, err := f.SnapshotAt(g)
+			if err != nil {
+				readErr <- fmt.Errorf("SnapshotAt(%d): %w", g, err)
+				return
+			}
+			if snap.Generation != g {
+				readErr <- fmt.Errorf("SnapshotAt(%d) returned generation %d", g, snap.Generation)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < cfg.Batches; i++ {
+		b := randomBatch(r, &st)
+		if _, err := leader.ApplyBatch(b); err != nil {
+			t.Fatalf("replicatest: leader batch %d: %v", i+1, err)
+		}
+		if (i+1)%cfg.CheckEvery == 0 || i == cfg.Batches-1 {
+			waitCaughtUp(t, f, leader.Seq())
+			compareAcked(t, leaderEng, f, equal)
+		}
+	}
+	close(stop)
+	if err := <-readErr; err != nil {
+		t.Fatalf("replicatest: concurrent reader: %v", err)
+	}
+
+	// Drained: the follower acked everything, so lag is zero and the
+	// stream counters add up.
+	if got, want := f.AppliedSeq(), leader.Seq(); got != want {
+		t.Fatalf("replicatest: follower applied %d, leader at %d", got, want)
+	}
+	if lag := f.Lag(); lag != 0 {
+		t.Fatalf("replicatest: lag %d after drain, want 0", lag)
+	}
+	if got := f.Records(); got != uint64(cfg.Batches) {
+		t.Fatalf("replicatest: %d records streamed, want %d (no skips, no double-applies)", got, cfg.Batches)
+	}
+	if err := f.Err(); err != nil {
+		t.Fatalf("replicatest: follower error after drain: %v", err)
+	}
+}
+
+// waitCaughtUp blocks until the follower acks seq — the harness's
+// "leader Sync" barrier.
+func waitCaughtUp[V, A any](t testing.TB, f *replica.Follower[V, A], seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for f.AppliedSeq() < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicatest: follower stuck at seq %d waiting for %d (err: %v)",
+				f.AppliedSeq(), seq, f.Err())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// compareAcked asserts leader/follower equivalence for every
+// generation the follower has acked: identical graph structure (edge
+// multisets), identical vertex counts, values equal per the comparator.
+func compareAcked[V, A any](t testing.TB, leader *core.Engine[V, A], f *replica.Follower[V, A], equal func(got, want V) bool) {
+	t.Helper()
+	oldest, newest := f.RetainedGenerations()
+	for g := oldest; g <= newest; g++ {
+		ls, err := leader.SnapshotAt(g)
+		if err != nil {
+			t.Fatalf("replicatest: leader SnapshotAt(%d): %v", g, err)
+		}
+		fs, err := f.SnapshotAt(g)
+		if err != nil {
+			t.Fatalf("replicatest: follower SnapshotAt(%d): %v", g, err)
+		}
+		if ls.Generation != g || fs.Generation != g {
+			t.Fatalf("replicatest: gen %d: snapshots report generations %d / %d", g, ls.Generation, fs.Generation)
+		}
+		compareStructure(t, g, ls.Graph, fs.Graph)
+		if len(ls.Values) != len(fs.Values) {
+			t.Fatalf("replicatest: gen %d: %d leader values, %d follower values", g, len(ls.Values), len(fs.Values))
+		}
+		for v := range ls.Values {
+			if !equal(fs.Values[v], ls.Values[v]) {
+				t.Fatalf("replicatest: gen %d vertex %d: follower %v, leader %v", g, v, fs.Values[v], ls.Values[v])
+			}
+		}
+	}
+}
+
+// compareStructure compares two graph snapshots as sorted edge
+// multisets — graph.Apply is deterministic, so any divergence means a
+// record was lost, duplicated or reordered in transit.
+func compareStructure(t testing.TB, gen uint64, lg, fg *graph.Graph) {
+	t.Helper()
+	if lg.NumVertices() != fg.NumVertices() {
+		t.Fatalf("replicatest: gen %d: leader has %d vertices, follower %d", gen, lg.NumVertices(), fg.NumVertices())
+	}
+	if lg.NumEdges() != fg.NumEdges() {
+		t.Fatalf("replicatest: gen %d: leader has %d edges, follower %d", gen, lg.NumEdges(), fg.NumEdges())
+	}
+	le, fe := lg.Edges(nil), fg.Edges(nil)
+	sortEdges(le)
+	sortEdges(fe)
+	for i := range le {
+		if le[i] != fe[i] {
+			t.Fatalf("replicatest: gen %d edge %d: leader %+v, follower %+v", gen, i, le[i], fe[i])
+		}
+	}
+}
+
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Weight < es[j].Weight
+	})
+}

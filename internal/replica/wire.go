@@ -1,0 +1,116 @@
+// The replication wire format. One HTTP response body carries:
+//
+//	hello   = magic "GBREP001" | u64 leader seq
+//	message = 'R' wal-frame          (one journal record, CRC32C framed
+//	                                  exactly as on disk — see wal.EncodeFrame)
+//	        | 'H' u64 leader seq     (heartbeat: keepalive + lag signal)
+//
+// Integers are little-endian, matching the WAL. The stream has no
+// terminator: the leader holds the connection open and keeps sending as
+// records arrive, so a clean EOF only happens when either side closes.
+// The follower's resume position is implicit — it reconnects with
+// ?from=<last applied seq> and the leader replays from there, making
+// every disconnect recoverable without acknowledgements.
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/wal"
+)
+
+var streamMagic = [8]byte{'G', 'B', 'R', 'E', 'P', '0', '0', '1'}
+
+const (
+	kindRecord    = 'R'
+	kindHeartbeat = 'H'
+)
+
+// appendHello builds the stream preamble.
+func appendHello(buf []byte, leaderSeq uint64) []byte {
+	buf = append(buf, streamMagic[:]...)
+	return binary.LittleEndian.AppendUint64(buf, leaderSeq)
+}
+
+// appendHeartbeat builds an 'H' message.
+func appendHeartbeat(buf []byte, leaderSeq uint64) []byte {
+	buf = append(buf, kindHeartbeat)
+	return binary.LittleEndian.AppendUint64(buf, leaderSeq)
+}
+
+// appendRecord builds an 'R' message around an already-encoded frame.
+func appendRecord(buf, frame []byte) []byte {
+	buf = append(buf, kindRecord)
+	return append(buf, frame...)
+}
+
+// message is one decoded stream element: kind is kindRecord (rec valid)
+// or kindHeartbeat (leaderSeq valid).
+type message struct {
+	kind      byte
+	leaderSeq uint64
+	rec       wal.Record
+}
+
+// wireReader decodes a replication stream. It buffers reads but decodes
+// strictly message-by-message, so a torn tail is detected exactly at
+// the message where the connection died.
+type wireReader struct {
+	br *bufio.Reader
+	fr *wal.FrameReader
+}
+
+func newWireReader(r io.Reader) *wireReader {
+	br := bufio.NewReader(r)
+	return &wireReader{br: br, fr: wal.NewFrameReader(br)}
+}
+
+// hello consumes and validates the stream preamble, returning the
+// leader's sequence number at connect time.
+func (w *wireReader) hello() (leaderSeq uint64, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(w.br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: short hello: %v", ErrStreamCorrupt, err)
+	}
+	if [8]byte(hdr[:8]) != streamMagic {
+		return 0, fmt.Errorf("%w: bad hello magic %q", ErrStreamCorrupt, hdr[:8])
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
+}
+
+// next returns the next message. io.EOF means the sender closed the
+// stream at a message boundary (normal shutdown); anything else wraps
+// ErrStreamCorrupt or wal.ErrFrameCorrupt and the caller should drop
+// the connection and resume by sequence number.
+func (w *wireReader) next() (message, error) {
+	kind, err := w.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return message{}, io.EOF
+		}
+		return message{}, fmt.Errorf("%w: %v", ErrStreamCorrupt, err)
+	}
+	switch kind {
+	case kindHeartbeat:
+		var buf [8]byte
+		if _, err := io.ReadFull(w.br, buf[:]); err != nil {
+			return message{}, fmt.Errorf("%w: torn heartbeat: %v", ErrStreamCorrupt, err)
+		}
+		return message{kind: kindHeartbeat, leaderSeq: binary.LittleEndian.Uint64(buf[:])}, nil
+	case kindRecord:
+		rec, err := w.fr.Next()
+		if err != nil {
+			if errors.Is(err, wal.ErrFrameCorrupt) {
+				return message{}, err
+			}
+			return message{}, fmt.Errorf("%w: torn record frame: %v", ErrStreamCorrupt, err)
+		}
+		return message{kind: kindRecord, rec: rec}, nil
+	default:
+		return message{}, fmt.Errorf("%w: unknown message tag 0x%02x", ErrStreamCorrupt, kind)
+	}
+}

@@ -343,13 +343,7 @@ func (w *WAL) Append(seq uint64, b graph.Batch) error {
 	}
 	w.recovered = nil
 	start := w.size
-	// Capacity: frame header + seq + two uvarint counts + 16 bytes/edge.
-	frame := make([]byte, frameHeaderSize, frameHeaderSize+8+20+16*(len(b.Add)+len(b.Del)))
-	frame = binary.LittleEndian.AppendUint64(frame, seq)
-	frame = appendBatch(frame, b)
-	body := frame[frameHeaderSize:]
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	frame := EncodeFrame(seq, b)
 	n, err := w.w.Write(frame)
 	w.size += int64(n)
 	if err != nil {

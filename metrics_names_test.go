@@ -14,6 +14,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/qcache"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -53,6 +54,8 @@ var (
 		"graphbolt_recoveries_total",
 		"graphbolt_recovery_replayed_records_total",
 		"graphbolt_recovery_skipped_records_total",
+		"graphbolt_replica_records_streamed_total",
+		"graphbolt_replica_resumes_total",
 		"graphbolt_serve_applied_batches_total",
 		"graphbolt_serve_apply_errors_total",
 		"graphbolt_serve_coalesced_batches_total",
@@ -82,6 +85,8 @@ var (
 		"graphbolt_health_state",
 		"graphbolt_qcache_bytes",
 		"graphbolt_qcache_entries",
+		"graphbolt_replica_lag_generations",
+		"graphbolt_replica_lag_seconds",
 		"graphbolt_serve_quarantine_size",
 		"graphbolt_serve_queue_depth",
 		"graphbolt_serve_stuck_applies",
@@ -117,6 +122,7 @@ func TestRegisteredMetricNamesGolden(t *testing.T) {
 	health.RegisterMetrics(reg)
 	flight.RegisterMetrics(reg)
 	partition.RegisterMetrics(reg)
+	replica.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	defer parallel.SetMetrics(nil)
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/qcache"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -58,6 +59,7 @@ func EnableMetrics() *MetricsRegistry {
 	admission.RegisterMetrics(reg)
 	flight.RegisterMetrics(reg)
 	partition.RegisterMetrics(reg)
+	replica.RegisterMetrics(reg)
 	parallel.SetMetrics(reg)
 	return reg
 }

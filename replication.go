@@ -1,0 +1,94 @@
+package graphbolt
+
+import (
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/replica"
+)
+
+// Replication: WAL shipping over HTTP. A leader publishes its journal
+// through a ReplicationLog; any number of read-only followers tail it,
+// replay the records into their own engines, and serve the same
+// generation-g snapshots at a bounded, observable lag. See the
+// "Replication" section in README.md and the BSP-lag note in DESIGN.md.
+//
+// Leader wiring:
+//
+//	rlog := graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{})
+//	d, _ := graphbolt.OpenDurable(eng, dir, graphbolt.DurableOptions{OnRecord: rlog.Append})
+//	rlog.SetFloor(d.Recovery().SnapshotSeq)
+//	srv := graphbolt.NewDurableServer(d, graphbolt.ServerOptions{DisableCoalescing: true})
+//	mux.Handle("/v1/wal", rlog.Handler())
+//	mux.Handle("/v1/", graphbolt.QueryHandler(srv))
+//
+// DisableCoalescing matters: with coalescing on, one journal record can
+// cover several submitted batches, which is fine for durability but
+// breaks the one-record-per-generation bookkeeping the lag metrics and
+// SnapshotAt parity arguments rely on.
+//
+// Follower wiring (also available as `graphbolt -follow <leader-url>`):
+//
+//	f, _ := graphbolt.NewDurableFollower(d, "http://leader:8080", graphbolt.FollowerOptions{})
+//	f.Start(ctx)
+//	mux.Handle("/v1/", graphbolt.FollowerQueryHandler(f))
+
+// ReplicationLog is the leader-side record store and stream server.
+type ReplicationLog = replica.Log
+
+// ReplicationLogOptions configures a ReplicationLog.
+type ReplicationLogOptions = replica.LogOptions
+
+// NewReplicationLog builds an empty replication log. Feed it with
+// DurableOptions.OnRecord (which also backfills the records replayed
+// from the local WAL at open) and mount Handler on the leader's mux.
+func NewReplicationLog(opts ReplicationLogOptions) *ReplicationLog {
+	return replica.NewLog(opts)
+}
+
+// Follower tails a leader's replication stream into a local engine and
+// serves the same read API; direct writes fail with ErrFollower.
+type Follower[V, A any] = replica.Follower[V, A]
+
+// FollowerOptions configures a Follower.
+type FollowerOptions = replica.FollowerOptions
+
+// RecordApplier is the follower's replay sink (a DurableEngine, or the
+// in-memory adapter from NewEngineApplier).
+type RecordApplier = replica.RecordApplier
+
+// NewFollower builds an in-memory follower over eng. ap may be nil (a
+// fresh in-memory applier is used). The follower starts from the
+// applier's sequence position and resumes there across reconnects.
+func NewFollower[V, A any](eng *Engine[V, A], ap RecordApplier, leaderURL string, opts FollowerOptions) (*Follower[V, A], error) {
+	return replica.NewFollower(eng, ap, leaderURL, opts)
+}
+
+// NewDurableFollower builds a follower that re-journals every streamed
+// record into d before applying it, so a restart resumes from disk at
+// the exact sequence number it last acked.
+func NewDurableFollower[V, A any](d *DurableEngine[V, A], leaderURL string, opts FollowerOptions) (*Follower[V, A], error) {
+	return replica.NewDurableFollower(d, leaderURL, opts)
+}
+
+// NewEngineApplier adapts a bare engine as a RecordApplier for
+// in-memory followers (sequence position starts at 0).
+func NewEngineApplier[V, A any](eng *Engine[V, A]) RecordApplier {
+	return replica.NewEngineApplier(eng)
+}
+
+// RegisterReplicaMetrics pre-creates the graphbolt_replica_* series in
+// reg, the way EnableMetrics does for the process-wide registry — for
+// callers assembling a registry by hand.
+func RegisterReplicaMetrics(reg *obs.Registry) { replica.RegisterMetrics(reg) }
+
+var (
+	// ErrFollower reports a write submitted to a read-only follower;
+	// Submit wraps it in a *RetryableError, so RetryAfter works on it.
+	ErrFollower = replica.ErrFollower
+	// ErrReplicationLogCompacted reports a follower resume position the
+	// leader's replication log no longer covers (HTTP 410 on the stream).
+	ErrReplicationLogCompacted = replica.ErrLogCompacted
+	// ErrOutOfOrder reports a replayed record whose sequence number is
+	// not exactly one past the engine's last applied batch.
+	ErrOutOfOrder = durable.ErrOutOfOrder
+)

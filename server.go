@@ -1,6 +1,7 @@
 package graphbolt
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"log/slog"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/partition"
 	"repro/internal/qcache"
+	"repro/internal/replica"
 	"repro/internal/serve"
 )
 
@@ -520,6 +522,36 @@ func (s *Server[V, A]) Diff(from, to uint64) (*SnapshotDiff[V], error) {
 // ServerOptions.QueryCacheBytes is 0 — a valid argument to every
 // helper; queries then compute uncached.
 func (s *Server[V, A]) Cache() *QueryCache { return s.cache }
+
+// QuerySource is the read surface the HTTP query API serves — both
+// *Server[V, A] and *Follower[V, A] (see replication.go) satisfy it,
+// which is what lets a load balancer spread reads across a leader and
+// its followers without telling them apart.
+type QuerySource[V any] = replica.Source[V]
+
+// QueryHandler returns the HTTP/JSON query API over a server:
+// /v1/snapshot, /v1/snapshot/{gen}, /v1/topk?k=N, /v1/value/{vertex}
+// and /v1/diff?from=&to=, with qcache-memoized reads and JSON errors
+// (400 malformed, 404 unknown vertex, 405 non-GET, 410 evicted
+// generation, 503 before first publish). Mount it alongside the
+// observability mux:
+//
+//	mux := obs.HandlerWith(reg, map[string]http.Handler{
+//	    "/healthz": srv.HealthHandler(),
+//	    "/v1/":     graphbolt.QueryHandler(srv),
+//	})
+//
+// A free function rather than a method because /v1/topk needs V to be
+// ordered, a constraint methods cannot add.
+func QueryHandler[V cmp.Ordered, A any](srv *Server[V, A]) http.Handler {
+	return replica.API[V](srv)
+}
+
+// FollowerQueryHandler is QueryHandler for a follower — the identical
+// API surface served from replicated state.
+func FollowerQueryHandler[V cmp.Ordered, A any](f *Follower[V, A]) http.Handler {
+	return replica.API[V](f)
+}
 
 // Wait blocks until a snapshot with Generation >= gen is published,
 // then returns it — the FIRST such snapshot the reader observes, not

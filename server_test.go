@@ -128,6 +128,12 @@ func TestServerConcurrentReadersStress(t *testing.T) {
 		}(r)
 	}
 
+	// Pin the pre-stream generation from the main goroutine: on a busy
+	// one-core machine the readers may not be scheduled until every
+	// batch has already applied, and the distinct-generation floor
+	// below must not depend on that scheduler race.
+	record(srv.Snapshot())
+
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	for _, b := range st.Batches {
