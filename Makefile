@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 COVER_FLOOR_core  = 70
 COVER_FLOOR_serve = 70
 
-.PHONY: build test check check-race race vet fmt bench bench-shards fuzz cover chaos overload flight shard replica
+.PHONY: build test check check-race race vet fmt bench bench-shards fuzz cover chaos overload flight shard replica failover
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,18 @@ replica:
 	$(GO) test -race -run 'TestReplica' -v $(REPLICA_FLAGS) .
 	$(GO) test -race $(REPLICA_FLAGS) ./internal/replica/... ./internal/wal/
 
+# failover runs the compaction-chaos e2e under the race detector: a
+# leader checkpointing every 3 batches over a 5-record replication log,
+# behind a proxy that partitions the stream, stalls connections
+# silently, and refuses checkpoint fetches, while the durable follower
+# is killed and restarted across compaction windows. Asserts the
+# follower re-seeds itself from shipped checkpoints, the stall watchdog
+# reclaims dead connections, and it ends Healthy, caught up, and
+# generation-exact with the leader. FAILOVER_FLAGS=-short shrinks the
+# stream for CI.
+failover:
+	$(GO) test -race -run TestFailoverCompactionChaos -v $(FAILOVER_FLAGS) .
+
 # fuzz runs every fuzz target for FUZZTIME each (Go only allows one
 # -fuzz pattern per invocation). The seed corpora alone run in `make
 # test`; this target actually mutates.
@@ -110,6 +122,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -run=^$$ -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/replica/
+	$(GO) test -run=^$$ -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/replica/
 
 # cover runs the full test suite with statement coverage and fails if
 # any package with a COVER_FLOOR_<name> above dips under its floor. The

@@ -71,8 +71,12 @@
 // the leader's /v1/wal stream, replays every record through the same
 // engine (re-journaling locally when -wal-dir is set, so a restart
 // resumes seq-exact from disk), refuses writes, and serves the same
-// query API on -api-addr. Run it with the leader's -graph, -algo and
-// -retain so the generations line up:
+// query API on -api-addr. If the leader has compacted past the
+// follower's position, the follower re-seeds itself from the leader's
+// GET /v1/checkpoint and resumes the stream from there; -stall-timeout
+// bounds how long a silent connection (no records, no heartbeats) is
+// tolerated before re-dialing. Run it with the leader's -graph, -algo
+// and -retain so the generations line up:
 //
 //	graphbolt -graph base.el -algo pagerank -follow http://leader:8080 -api-addr :8081
 //
@@ -145,6 +149,7 @@ func main() {
 		flightDepth = flag.Int("flight-depth", 0, "flight recorder ring capacity in events (0 = default 4096; with -flight)")
 		apiAddr     = flag.String("api-addr", "", "serve the HTTP/JSON query API (/v1/snapshot, /v1/topk, /v1/value, /v1/diff) on this address; with -serve -wal-dir also the replication stream at /v1/wal")
 		follow      = flag.String("follow", "", "run as a read replica tailing this leader URL's /v1/wal stream (e.g. http://leader:8080); refuses writes, serves the query API on -api-addr")
+		stallTO     = flag.Duration("stall-timeout", 0, "follower stream-stall watchdog: drop and re-dial a connection that carries neither records nor heartbeats for this long (0 = default 15s; negative disables; with -follow)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -243,7 +248,12 @@ func main() {
 	// sequence numbers to ship.
 	var rlog *graphbolt.ReplicationLog
 	if *apiAddr != "" && *follow == "" && *walDir != "" {
-		rlog = graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{Logger: logger})
+		// The checkpoint hint reads the directory, not the engine, so the
+		// log can advertise re-seedability before the engine is open.
+		rlog = graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{
+			Logger:        logger,
+			CheckpointSeq: graphbolt.CheckpointDir(*walDir).CheckpointSeq,
+		})
 		defer rlog.Close()
 	}
 
@@ -278,6 +288,9 @@ func main() {
 		})
 		if rlog != nil {
 			mux.Handle("GET /v1/wal", rlog.Handler())
+			// Followers whose resume position was compacted away re-seed
+			// from here (404 until the first checkpoint lands on disk).
+			mux.Handle("GET /v1/checkpoint", graphbolt.CheckpointHandler(graphbolt.CheckpointDir(*walDir)))
 		}
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			health.Handler(healthProxy.Load()).ServeHTTP(w, r)
@@ -323,14 +336,17 @@ func main() {
 
 	if *follow != "" {
 		runFollower(*algo, g, opts, followConfig{
-			leaderURL:  *follow,
-			apiAddr:    *apiAddr,
-			source:     graph.VertexID(*source),
-			top:        *top,
-			cacheBytes: *queryCache,
-			durable:    dcfg,
-			metrics:    reg,
-			logger:     logger,
+			leaderURL:    *follow,
+			apiAddr:      *apiAddr,
+			source:       graph.VertexID(*source),
+			top:          *top,
+			cacheBytes:   *queryCache,
+			durable:      dcfg,
+			metrics:      reg,
+			logger:       logger,
+			stallTimeout: *stallTO,
+			flight:       rec,
+			setHealth:    healthProxy.Store,
 		})
 		return
 	}
@@ -743,14 +759,17 @@ func queryHandlerFor[V, A any](srv *graphbolt.Server[V, A]) http.Handler {
 
 // followConfig carries the -follow flag family.
 type followConfig struct {
-	leaderURL  string
-	apiAddr    string
-	source     graph.VertexID // -source, for sssp/bfs
-	top        int
-	cacheBytes int64
-	durable    *durableConfig // nil unless -wal-dir (a restartable follower)
-	metrics    *obs.Registry
-	logger     *slog.Logger
+	leaderURL    string
+	apiAddr      string
+	source       graph.VertexID // -source, for sssp/bfs
+	top          int
+	cacheBytes   int64
+	durable      *durableConfig // nil unless -wal-dir (a restartable follower)
+	metrics      *obs.Registry
+	logger       *slog.Logger
+	stallTimeout time.Duration         // -stall-timeout
+	flight       *flight.Recorder      // nil unless -flight
+	setHealth    func(*health.Tracker) // publishes the tracker to /healthz
 }
 
 // runFollower dispatches -follow mode to the concretely-typed follow
@@ -800,10 +819,17 @@ func runFollower(algo string, g *graph.Graph, opts core.Options, fc followConfig
 // until SIGINT/SIGTERM or a terminal stream fault.
 func follow[A any](eng *core.Engine[float64, A], fc followConfig, valueName string) {
 	logger := fc.logger
+	tracker := health.NewTracker(fc.metrics)
+	if fc.setHealth != nil {
+		fc.setHealth(tracker)
+	}
 	fopts := graphbolt.FollowerOptions{
 		Metrics:         fc.metrics,
 		QueryCacheBytes: fc.cacheBytes,
 		Logger:          logger,
+		StallTimeout:    fc.stallTimeout,
+		Health:          tracker,
+		Flight:          fc.flight,
 	}
 	var f *graphbolt.Follower[float64, A]
 	var err error
@@ -821,9 +847,17 @@ func follow[A any](eng *core.Engine[float64, A], fc followConfig, valueName stri
 		defer d.Close()
 		if info := d.Recovery(); info.FromSnapshot || info.Replayed > 0 {
 			logger.Info("follower recovered", "dir", fc.durable.dir, "resume_from", d.Seq())
+		} else {
+			logger.Info("follower bootstrap", "mode", "durable", "dir", fc.durable.dir, "resume_from", d.Seq())
 		}
 		f, err = graphbolt.NewDurableFollower(d, fc.leaderURL, fopts)
 	} else {
+		// No -wal-dir: the resume position lives only in memory, so every
+		// process start is a bootstrap from sequence 0 — served by the
+		// leader's log when it still covers it, or by a shipped checkpoint
+		// once the log has been compacted.
+		logger.Info("follower bootstrap", "mode", "in-memory", "resume_from", 0,
+			"note", "no -wal-dir: restart re-streams from 0 or re-seeds from the leader's checkpoint")
 		f, err = graphbolt.NewFollower(eng, nil, fc.leaderURL, fopts)
 	}
 	if err != nil {
@@ -858,7 +892,9 @@ func follow[A any](eng *core.Engine[float64, A], fc followConfig, valueName stri
 		"leader_seq", f.LeaderSeq(),
 		"lag", f.Lag(),
 		"records", f.Records(),
-		"resumes", f.Resumes())
+		"resumes", f.Resumes(),
+		"reseeds", f.Reseeds(),
+		"stalls", f.Stalls())
 	printTop(valueName, eng.Values(), fc.top)
 }
 

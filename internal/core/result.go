@@ -80,6 +80,18 @@ func (e *Engine[V, A]) publish() {
 	if prev := e.snap.Load(); prev != nil {
 		gen = prev.Generation + 1
 	}
+	e.publishGen(gen)
+}
+
+// publishGen publishes the live result state under an explicit
+// generation number. ReadSnapshot uses it to resume the counter a
+// checkpoint recorded — a checkpoint-restored engine (recovery, or a
+// follower re-seeded after log compaction) continues the leader's
+// generation sequence instead of restarting at 1, which is what keeps
+// SnapshotAt(g) addressable by the same g on both sides of a
+// replication stream. Generations skipped by a jump simply resolve as
+// not retained.
+func (e *Engine[V, A]) publishGen(gen uint64) {
 	s := &ResultSnapshot[V]{
 		Generation:  gen,
 		Graph:       e.g,

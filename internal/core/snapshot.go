@@ -70,6 +70,15 @@ type engineState[V, A any] struct {
 	Level int
 	Ran   bool
 	Stats Stats
+
+	// Generation is the published snapshot generation at checkpoint
+	// time, so a restore resumes the generation counter instead of
+	// restarting at 1 — replication parity (follower SnapshotAt(g) ==
+	// leader SnapshotAt(g)) depends on generations surviving a
+	// checkpoint-shipped re-seed. Zero in checkpoints written before
+	// this field existed (gob leaves absent fields zero); ReadSnapshot
+	// then falls back to the local counter.
+	Generation uint64
 }
 
 // WriteSnapshot checkpoints the engine — graph structure, current
@@ -91,6 +100,9 @@ func (e *Engine[V, A]) WriteSnapshot(w io.Writer) error {
 		Level:    e.level,
 		Ran:      e.ran,
 		Stats:    e.stats,
+	}
+	if s := e.snap.Load(); s != nil {
+		st.Generation = s.Generation
 	}
 	if e.hist != nil {
 		st.Hist = e.hist.Export()
@@ -174,6 +186,10 @@ func (e *Engine[V, A]) ReadSnapshot(r io.Reader) error {
 			e.hist.Grow(st.Vertices)
 		}
 	}
-	e.publish()
+	if st.Generation > 0 {
+		e.publishGen(st.Generation)
+	} else {
+		e.publish()
+	}
 	return nil
 }

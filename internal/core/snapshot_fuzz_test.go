@@ -59,11 +59,14 @@ func FuzzReadSnapshot(f *testing.F) {
 			return
 		}
 		// Accepted input must produce a coherent, newly published state.
+		// The generation is whatever the checkpoint recorded (resumed so
+		// replication parity survives a re-seed), or the local counter +1
+		// for pre-Generation checkpoints — never zero.
 		if after == before {
 			t.Fatal("successful ReadSnapshot did not publish a new snapshot")
 		}
-		if after.Generation != before.Generation+1 {
-			t.Fatalf("generation %d after restore, want %d", after.Generation, before.Generation+1)
+		if after.Generation == 0 {
+			t.Fatal("generation 0 after restore")
 		}
 		if len(after.Values) != after.Graph.NumVertices() {
 			t.Fatalf("%d values for %d vertices after restore", len(after.Values), after.Graph.NumVertices())

@@ -29,13 +29,11 @@
 package durable
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -50,13 +48,11 @@ const (
 	snapFile = "checkpoint.snap"
 )
 
-// Checkpoint header: magic, the covered sequence number, and a CRC32C
-// over both. The core snapshot that follows carries its own framing.
-var snapHeaderMagic = [8]byte{'G', 'B', 'D', 'U', 'R', '0', '0', '1'}
-
-const snapHeaderSize = 8 + 8 + 4
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
+// The checkpoint file is framed by the wal package's checkpoint header
+// (magic, covered sequence number, CRC32C — see wal.CheckpointMagic);
+// the core snapshot that follows carries its own framing. Sharing the
+// codec with wal is what lets the replication layer ship the file to
+// followers verbatim and verify it with the same reader.
 
 // Options configures a durable engine.
 type Options struct {
@@ -130,6 +126,10 @@ type Engine[V, A any] struct {
 	info    RecoveryInfo
 	met     durableMetrics
 
+	// ckptSeq mirrors snapSeq for concurrent readers (CheckpointSeq);
+	// nil until a checkpoint exists. Only the single writer stores.
+	ckptSeq atomic.Pointer[uint64]
+
 	// ailment is the storage fault keeping the engine from accepting
 	// writes (journal damage, failed checkpoint). While set, ApplyBatch
 	// fails fast; Recover repairs and clears it. In-memory state stays
@@ -192,6 +192,7 @@ func (d *Engine[V, A]) recover() error {
 		d.info.FromSnapshot = true
 		d.info.SnapshotSeq = snapSeq
 		d.seq, d.snapSeq = snapSeq, snapSeq
+		d.noteCheckpoint(snapSeq)
 	} else {
 		// No checkpoint: mirror the original process, which ran the
 		// initial computation before streaming its first batch.
@@ -225,20 +226,14 @@ func (d *Engine[V, A]) loadSnapshot() (seq uint64, found bool, err error) {
 		return 0, false, fmt.Errorf("durable: %w", err)
 	}
 	defer f.Close()
-	var hdr [snapHeaderSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return 0, false, fmt.Errorf("durable: checkpoint header: %w", core.ErrSnapshotCorrupt)
-	}
-	if [8]byte(hdr[:8]) != snapHeaderMagic {
-		return 0, false, fmt.Errorf("durable: checkpoint magic: %w", core.ErrSnapshotCorrupt)
-	}
-	if crc32.Checksum(hdr[:16], crcTable) != binary.LittleEndian.Uint32(hdr[16:20]) {
-		return 0, false, fmt.Errorf("durable: checkpoint header checksum: %w", core.ErrSnapshotCorrupt)
+	snapSeq, err := wal.ReadCheckpointHeader(f)
+	if err != nil {
+		return 0, false, fmt.Errorf("durable: checkpoint header: %w: %v", core.ErrSnapshotCorrupt, err)
 	}
 	if err := d.eng.ReadSnapshot(f); err != nil {
 		return 0, false, err
 	}
-	return binary.LittleEndian.Uint64(hdr[8:16]), true, nil
+	return snapSeq, true, nil
 }
 
 // Recovery reports how Open reconstructed the state.
@@ -385,6 +380,7 @@ func (d *Engine[V, A]) Checkpoint() error {
 	// records with seq ≤ the checkpoint's sequence number.
 	d.snapSeq = d.seq
 	d.since = 0
+	d.noteCheckpoint(d.snapSeq)
 	if err := d.w.Reset(); err != nil {
 		d.ailment = err
 		return err
@@ -407,10 +403,7 @@ func (d *Engine[V, A]) writeCheckpoint() error {
 	if err != nil {
 		return fmt.Errorf("durable: checkpoint: %w", err)
 	}
-	var hdr [snapHeaderSize]byte
-	copy(hdr[:8], snapHeaderMagic[:])
-	binary.LittleEndian.PutUint64(hdr[8:16], d.seq)
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(hdr[:16], crcTable))
+	hdr := wal.EncodeCheckpointHeader(d.seq)
 	err = func() error {
 		if _, err := f.Write(hdr[:]); err != nil {
 			return err

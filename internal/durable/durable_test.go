@@ -208,7 +208,7 @@ func TestCorruptCheckpointTypedError(t *testing.T) {
 			t.Fatalf("err = %v, want errors.Is(..., core.ErrSnapshotCorrupt)", err)
 		}
 	}
-	t.Run("bit flip in engine state", func(t *testing.T) { corrupt(t, snapHeaderSize+24) })
+	t.Run("bit flip in engine state", func(t *testing.T) { corrupt(t, wal.CheckpointHeaderSize+24) })
 	t.Run("bit flip in seq header", func(t *testing.T) { corrupt(t, 10) })
 }
 

@@ -100,6 +100,13 @@ const (
 	// interface. At is the span's start; A = duration nanoseconds,
 	// B = interned phase-name ID (see Event.Note).
 	KindPhase
+	// KindReseed: a follower installed a leader checkpoint after log
+	// compaction. A = applied sequence before, B = checkpoint sequence
+	// after.
+	KindReseed
+	// KindStall: a follower's stream-stall watchdog dropped a silent
+	// connection. A = observed silence in nanoseconds.
+	KindStall
 )
 
 var kindNames = [...]string{
@@ -119,6 +126,8 @@ var kindNames = [...]string{
 	KindHealth:        "health",
 	KindRepair:        "repair",
 	KindPhase:         "phase",
+	KindReseed:        "reseed",
+	KindStall:         "stall",
 }
 
 // String returns the lowercase kind name used in dumps and the
@@ -197,6 +206,10 @@ func (e Event) Note() string {
 		return fmt.Sprintf("attempt=%d failed", e.A)
 	case KindPhase:
 		return fmt.Sprintf("name=%s took=%v", phaseName(e.B), time.Duration(e.A))
+	case KindReseed:
+		return fmt.Sprintf("from_seq=%d to_seq=%d", e.A, e.B)
+	case KindStall:
+		return fmt.Sprintf("silent=%v", time.Duration(e.A))
 	}
 	return ""
 }

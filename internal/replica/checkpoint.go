@@ -1,0 +1,62 @@
+package replica
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/durable"
+)
+
+// SeqHeader carries the sequence number a checkpoint response covers,
+// alongside the body. Followers prefer the in-band framed header (it is
+// CRC-protected); the HTTP header exists for curl-level diagnosis and
+// conditional fetches.
+const SeqHeader = "X-Graphbolt-Checkpoint-Seq"
+
+// CheckpointSource yields the leader's latest on-disk checkpoint.
+// durable.Engine and durable.CheckpointDir both implement it.
+type CheckpointSource interface {
+	OpenCheckpoint() (*durable.CheckpointFile, error)
+}
+
+// CheckpointHandler returns the checkpoint-shipping endpoint,
+// conventionally mounted at GET /v1/checkpoint. It streams the
+// complete framed checkpoint file — the wal checkpoint header followed
+// by the core snapshot, both CRC-protected — exactly as
+// durable.InstallCheckpoint expects it. 404 until the leader has
+// written a checkpoint. The covered sequence doubles as the ETag, so a
+// follower re-fetching after a failed install can short-circuit with
+// If-None-Match when the checkpoint has not advanced.
+func CheckpointHandler(src CheckpointSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			httpError(w, http.StatusMethodNotAllowed, "method not allowed", "")
+			return
+		}
+		cf, err := src.OpenCheckpoint()
+		if errors.Is(err, durable.ErrNoCheckpoint) {
+			httpError(w, http.StatusNotFound, "no checkpoint yet",
+				"the leader has not completed a checkpoint; retry after one is written")
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "checkpoint unreadable", err.Error())
+			return
+		}
+		defer cf.Close()
+		etag := `"` + strconv.FormatUint(cf.Seq(), 10) + `"`
+		w.Header().Set("ETag", etag)
+		w.Header().Set(SeqHeader, strconv.FormatUint(cf.Seq(), 10))
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(cf.Size(), 10))
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, cf)
+	})
+}

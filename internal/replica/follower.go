@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/url"
@@ -15,12 +16,23 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/flight"
 	"repro/internal/graph"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
+
+// DefaultStallTimeout is the default stream-stall watchdog limit: the
+// maximum silence (no record, no heartbeat) before the follower drops
+// the connection and reconnects. Thirty heartbeat intervals — wide
+// enough that a loaded leader never trips it, tight enough that a
+// half-dead connection (SYN-acked socket, wedged proxy, partitioned
+// peer) is abandoned in seconds rather than at the kernel's multi-
+// minute TCP timeout.
+const DefaultStallTimeout = 30 * DefaultHeartbeat
 
 // RecordApplier is the follower's replay sink: ApplyRecord replays one
 // leader journal record, Seq reports the last applied sequence number
@@ -35,6 +47,20 @@ import (
 type RecordApplier interface {
 	ApplyRecord(rec wal.Record) error
 	Seq() uint64
+}
+
+// CheckpointInstaller is the optional re-seed extension of
+// RecordApplier: InstallCheckpoint replaces the applier's state with a
+// complete framed checkpoint streamed from the leader (wal checkpoint
+// header + core snapshot, both CRC-verified before anything is
+// mutated) and returns the sequence number it covers. durable.Engine
+// implements it with full crash safety (the checkpoint lands on disk
+// before the local journal is truncated); the in-memory engine applier
+// implements it by swapping state behind the published snapshot. A
+// follower whose applier lacks the interface treats log compaction as
+// terminal, as before.
+type CheckpointInstaller interface {
+	InstallCheckpoint(r io.Reader) (uint64, error)
 }
 
 // engineApplier adapts a bare core.Engine as a RecordApplier for
@@ -63,6 +89,26 @@ func (a *engineApplier[V, A]) ApplyRecord(rec wal.Record) error {
 
 func (a *engineApplier[V, A]) Seq() uint64 { return a.seq }
 
+// InstallCheckpoint re-seeds the in-memory applier from a shipped
+// checkpoint. core.ReadSnapshot validates the whole frame before
+// mutating the engine, so a torn or corrupt body leaves the applier
+// exactly as it was; the published-snapshot swap at the end is what
+// makes the new state visible to readers atomically.
+func (a *engineApplier[V, A]) InstallCheckpoint(r io.Reader) (uint64, error) {
+	seq, err := wal.ReadCheckpointHeader(r)
+	if err != nil {
+		return 0, err
+	}
+	if seq <= a.seq {
+		return 0, fmt.Errorf("%w: checkpoint seq %d, applier at %d", durable.ErrCheckpointStale, seq, a.seq)
+	}
+	if err := a.eng.ReadSnapshot(r); err != nil {
+		return 0, err
+	}
+	a.seq = seq
+	return seq, nil
+}
+
 // FollowerOptions configures a Follower.
 type FollowerOptions struct {
 	// Client performs the stream requests; nil uses http.DefaultClient.
@@ -82,6 +128,22 @@ type FollowerOptions struct {
 	// OnApply, when non-nil, is called from the replay goroutine after
 	// every applied record. Keep it fast.
 	OnApply func(rec wal.Record)
+	// StallTimeout is the stream-stall watchdog limit: a connection that
+	// carries neither records nor heartbeats for this long is dropped
+	// and re-dialed (counted in graphbolt_replica_stalls_total).
+	// Heartbeats count as progress, so an idle-but-alive leader never
+	// trips it. 0 applies DefaultStallTimeout; negative disables the
+	// watchdog.
+	StallTimeout time.Duration
+	// Health, when non-nil, tracks the follower's serving state: Healthy
+	// while streaming, Degraded across transient faults (reconnects,
+	// stalls, re-seeds in progress), Failed on a terminal error. Nil is
+	// fine — all Tracker methods are nil-safe.
+	Health *health.Tracker
+	// Flight, when non-nil, receives reseed/stall lifecycle events so a
+	// post-hoc dump shows when and why the follower jumped sequence
+	// numbers or dropped a connection.
+	Flight *flight.Recorder
 }
 
 // Follower tails a leader's replication stream and replays it into a
@@ -104,6 +166,8 @@ type Follower[V, A any] struct {
 	leaderSeq atomic.Uint64 // newest sequence the leader has announced
 	records   atomic.Uint64 // records applied from the stream
 	resumes   atomic.Uint64 // reconnects after the first connection
+	reseeds   atomic.Uint64 // checkpoint installs after log compaction
+	stalls    atomic.Uint64 // connections dropped by the stall watchdog
 
 	mu        sync.Mutex
 	lastErr   error     // latest transient stream fault (cleared on connect)
@@ -165,12 +229,21 @@ func NewDurableFollower[V, A any](d *durable.Engine[V, A], leaderURL string, opt
 }
 
 // Run tails the leader until ctx is cancelled, reconnecting with
-// backoff across stream faults and leader outages. It returns ctx.Err()
-// on cancellation, or a terminal error: the leader compacted past our
-// resume position (ErrLogCompacted) or the local applier rejected a
-// record. It runs the engine's initial computation first if the engine
-// has never published (generation parity with the leader requires both
-// sides to start from the same base graph).
+// backoff across stream faults, stalls and leader outages, and
+// re-seeding itself from the leader's checkpoint when the log has been
+// compacted past its position. It returns ctx.Err() on cancellation,
+// or a terminal error: the local applier rejected a record, or the
+// leader compacted the log and serves no checkpoint (or the applier
+// cannot install one) to bridge the gap. It runs the engine's initial
+// computation first if the engine has never published (generation
+// parity with the leader requires both sides to start from the same
+// base graph).
+//
+// The backoff attempt counter resets whenever a connection makes real
+// progress — at least one record applied, or a successful re-seed — so
+// a follower that streamed healthily for an hour and then lost the
+// connection retries at the base delay, not wherever a morning's worth
+// of transient faults left the counter.
 func (f *Follower[V, A]) Run(ctx context.Context) error {
 	if f.eng.Snapshot() == nil {
 		f.eng.Run()
@@ -179,20 +252,44 @@ func (f *Follower[V, A]) Run(ctx context.Context) error {
 	f.updateLag()
 	attempt := 0
 	for {
-		err := f.stream(ctx)
+		applied, err := f.stream(ctx)
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if applied > 0 {
+			attempt = 0
 		}
 		switch {
 		case err == nil:
 			// Leader closed the stream cleanly (shutdown); keep retrying
 			// at the backoff cadence — it may come back.
 			attempt++
+		case errors.Is(err, ErrLogCompacted):
+			f.setErr(err)
+			f.opts.Health.Set(health.Degraded, err)
+			rerr, terminal := f.reseed(ctx)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if rerr == nil {
+				attempt = 0
+				continue // reconnect immediately from the new position
+			}
+			f.setErr(rerr)
+			if terminal {
+				f.opts.Health.Set(health.Failed, rerr)
+				return rerr
+			}
+			f.logger.Warn("replica: checkpoint re-seed failed; will retry",
+				"applied", f.applied.Load(), "err", rerr)
+			attempt++
 		case isTerminal(err):
 			f.setErr(err)
+			f.opts.Health.Set(health.Failed, err)
 			return err
 		default:
 			f.setErr(err)
+			f.opts.Health.Set(health.Degraded, err)
 			f.logger.Warn("replica: stream interrupted; will resume",
 				"applied", f.applied.Load(), "err", err)
 			attempt++
@@ -241,15 +338,82 @@ func (f *Follower[V, A]) Close(ctx context.Context) error {
 	}
 }
 
-// isTerminal reports faults no amount of reconnecting can fix.
+// isTerminal reports faults no amount of reconnecting can fix. Log
+// compaction is deliberately not here anymore: Run intercepts it first
+// and attempts a checkpoint re-seed; it only becomes terminal when no
+// checkpoint can bridge the gap.
 func isTerminal(err error) bool {
-	return errors.Is(err, ErrLogCompacted) || errors.Is(err, durable.ErrOutOfOrder) ||
-		errors.Is(err, graph.ErrInvalidBatch)
+	return errors.Is(err, durable.ErrOutOfOrder) || errors.Is(err, graph.ErrInvalidBatch)
+}
+
+func (f *Follower[V, A]) client() *http.Client {
+	if f.opts.Client != nil {
+		return f.opts.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Follower[V, A]) stallTimeout() time.Duration {
+	switch {
+	case f.opts.StallTimeout < 0:
+		return 0 // disabled
+	case f.opts.StallTimeout == 0:
+		return DefaultStallTimeout
+	}
+	return f.opts.StallTimeout
 }
 
 // stream runs one connection lifecycle: connect, resume from the last
-// applied sequence, apply messages until the connection breaks.
-func (f *Follower[V, A]) stream(ctx context.Context) error {
+// applied sequence, apply messages until the connection breaks. It
+// returns the number of records applied on this connection — Run's
+// progress signal for resetting backoff.
+//
+// A watchdog goroutine guards the whole lifecycle: if no message
+// (record or heartbeat) arrives within the stall timeout it cancels
+// the connection's context, tearing down both a wedged read and a hung
+// connect. The error is then reported as ErrStreamStalled rather than
+// the context error the cancellation produced.
+func (f *Follower[V, A]) stream(ctx context.Context) (applied int, err error) {
+	timeout := f.stallTimeout()
+	var lastMsg atomic.Int64 // Unix nanos of the newest message
+	var stalled atomic.Bool
+	if timeout > 0 {
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = sctx
+		lastMsg.Store(time.Now().UnixNano())
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			tick := time.NewTicker(max(timeout/4, time.Millisecond))
+			defer tick.Stop()
+			for {
+				select {
+				case <-sctx.Done():
+					return
+				case <-watchDone:
+					return
+				case <-tick.C:
+					if time.Since(time.Unix(0, lastMsg.Load())) > timeout {
+						stalled.Store(true)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+		defer func() {
+			if err != nil && stalled.Load() {
+				silence := time.Since(time.Unix(0, lastMsg.Load()))
+				err = fmt.Errorf("%w: no message for %v (limit %v)",
+					ErrStreamStalled, silence.Round(time.Millisecond), timeout)
+				f.stalls.Add(1)
+				f.met.stalls.Inc()
+				f.opts.Flight.Record(flight.KindStall, 0, int64(silence), 0)
+			}
+		}()
+	}
+
 	u := *f.base
 	u.Path, _ = url.JoinPath(u.Path, "/v1/wal")
 	q := u.Query()
@@ -257,45 +421,97 @@ func (f *Follower[V, A]) stream(ctx context.Context) error {
 	u.RawQuery = q.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
-		return fmt.Errorf("replica: %w", err)
+		return 0, fmt.Errorf("replica: %w", err)
 	}
-	client := f.opts.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
+	resp, err := f.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("replica: connect: %w", err)
+		return 0, fmt.Errorf("replica: connect: %w", err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:
-		return fmt.Errorf("%w (leader floor is past seq %d)", ErrLogCompacted, f.applied.Load())
+		return 0, fmt.Errorf("%w (leader floor is past seq %d)", ErrLogCompacted, f.applied.Load())
 	default:
-		return fmt.Errorf("replica: leader returned %s", resp.Status)
+		return 0, fmt.Errorf("replica: leader returned %s", resp.Status)
 	}
 	wr := newWireReader(resp.Body)
 	leaderSeq, err := wr.hello()
 	if err != nil {
-		return err
+		return 0, err
 	}
+	lastMsg.Store(time.Now().UnixNano())
 	f.noteLeader(leaderSeq)
 	f.markConnected()
 	for {
 		msg, err := wr.next()
 		if err != nil {
-			return err
+			return applied, err
 		}
+		lastMsg.Store(time.Now().UnixNano())
 		switch msg.kind {
 		case kindHeartbeat:
 			f.noteLeader(msg.leaderSeq)
 		case kindRecord:
 			if err := f.apply(msg.rec); err != nil {
-				return err
+				return applied, err
 			}
+			applied++
 		}
 	}
+}
+
+// reseed bridges a compaction gap: fetch the leader's checkpoint,
+// install it through the applier's CheckpointInstaller path, and move
+// the resume position to its sequence. The never-skip/never-double
+// invariant holds across the jump because the checkpoint's state IS
+// the leader's state after applying every record ≤ its sequence — the
+// skipped records are not lost, they are inside the install. The
+// second return value reports whether the failure is terminal (no way
+// to re-seed, ever) versus transient (retry after backoff: connection
+// trouble, a checkpoint that has not yet advanced past our position,
+// a torn transfer).
+func (f *Follower[V, A]) reseed(ctx context.Context) (error, bool) {
+	inst, ok := f.ap.(CheckpointInstaller)
+	if !ok {
+		return fmt.Errorf("%w: applier %T cannot install checkpoints", ErrLogCompacted, f.ap), true
+	}
+	u := *f.base
+	u.Path, _ = url.JoinPath(u.Path, "/v1/checkpoint")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err), true
+	}
+	start := time.Now()
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: checkpoint fetch: %w", err), false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		// The leader has never checkpointed yet its log floor is past us;
+		// nothing can bridge the gap, now or later (any future checkpoint
+		// would cover even more).
+		return fmt.Errorf("%w: %w at %s", ErrLogCompacted, durable.ErrNoCheckpoint, u.Redacted()), true
+	default:
+		return fmt.Errorf("replica: checkpoint fetch: leader returned %s", resp.Status), false
+	}
+	prev := f.applied.Load()
+	seq, err := inst.InstallCheckpoint(resp.Body)
+	if err != nil {
+		return fmt.Errorf("replica: install checkpoint: %w", err), false
+	}
+	f.met.checkpointFetch.Observe(time.Since(start).Seconds())
+	f.applied.Store(seq)
+	f.reseeds.Add(1)
+	f.met.reseeds.Inc()
+	f.opts.Flight.Record(flight.KindReseed, 0, int64(prev), int64(seq))
+	f.noteLeader(seq)
+	f.logger.Info("replica: re-seeded from leader checkpoint",
+		"from_seq", prev, "to_seq", seq, "took", time.Since(start).Round(time.Millisecond))
+	return nil, false
 }
 
 // apply replays one record, enforcing the never-skip, never-double
@@ -363,6 +579,7 @@ func (f *Follower[V, A]) markConnected() {
 		f.resumes.Add(1)
 		f.met.resumes.Inc()
 	}
+	f.opts.Health.Set(health.Healthy, nil)
 }
 
 func (f *Follower[V, A]) setErr(err error) {
@@ -402,6 +619,13 @@ func (f *Follower[V, A]) Records() uint64 { return f.records.Load() }
 
 // Resumes returns the number of reconnects after the first connection.
 func (f *Follower[V, A]) Resumes() uint64 { return f.resumes.Load() }
+
+// Reseeds returns the number of checkpoint re-seeds performed after
+// the leader compacted past the follower's position.
+func (f *Follower[V, A]) Reseeds() uint64 { return f.reseeds.Load() }
+
+// Stalls returns the number of connections the stall watchdog dropped.
+func (f *Follower[V, A]) Stalls() uint64 { return f.stalls.Load() }
 
 // Snapshot returns the follower's newest published snapshot (nil before
 // the initial computation finishes).

@@ -92,6 +92,65 @@ func FuzzWireDecode(f *testing.F) {
 	})
 }
 
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint install
+// path a follower runs on a /v1/checkpoint response body. The installer
+// must never panic, and any rejected body — truncated transfer, corrupt
+// CRC, sequence regression — must leave the applier exactly as it was:
+// same sequence, same published snapshot. A body it does accept must
+// move the sequence strictly forward and publish a nonzero generation.
+// This is the follower's protection against a torn or hostile transfer
+// poisoning its state mid-re-seed.
+func FuzzCheckpointDecode(f *testing.F) {
+	shipped := func(seq uint64) []byte {
+		eng := newTestEngine(f, 8)
+		eng.Run()
+		if _, err := eng.ApplyBatch(graph.Batch{Add: []graph.Edge{{From: 0, To: 2, Weight: 2}}}); err != nil {
+			f.Fatal(err)
+		}
+		hdr := wal.EncodeCheckpointHeader(seq)
+		var buf bytes.Buffer
+		buf.Write(hdr[:])
+		if err := eng.WriteSnapshot(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := shipped(7)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:wal.CheckpointHeaderSize]) // header only, body gone
+	f.Add(valid[:len(valid)-3])             // torn snapshot trailer
+	f.Add(shipped(0))                       // sequence regression (0 ≤ applier's 0)
+	hdrFlip := append([]byte{}, valid...)
+	hdrFlip[10] ^= 0x01 // covered-seq bit: header CRC must catch it
+	f.Add(hdrFlip)
+	bodyFlip := append([]byte{}, valid...)
+	bodyFlip[wal.CheckpointHeaderSize+25] ^= 0x80 // snapshot payload bit
+	f.Add(bodyFlip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := newTestEngine(t, 8)
+		eng.Run()
+		ap := NewEngineApplier(eng).(*engineApplier[float64, float64])
+		before, beforeSeq := eng.Snapshot(), ap.Seq()
+		seq, err := ap.InstallCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			if eng.Snapshot() != before || ap.Seq() != beforeSeq {
+				t.Fatalf("rejected checkpoint still mutated the applier (seq %d -> %d)", beforeSeq, ap.Seq())
+			}
+			return
+		}
+		if seq <= beforeSeq || ap.Seq() != seq {
+			t.Fatalf("accepted checkpoint did not advance: returned %d, applier at %d (was %d)",
+				seq, ap.Seq(), beforeSeq)
+		}
+		after := eng.Snapshot()
+		if after == before || after.Generation == 0 {
+			t.Fatal("accepted checkpoint did not publish a fresh snapshot")
+		}
+	})
+}
+
 // newWireReaderAfterHello wraps raw message bytes (no hello preamble) in
 // a decoder, for round-trip checks.
 func newWireReaderAfterHello(p []byte) *wireReader {

@@ -30,6 +30,13 @@ type LogOptions struct {
 	Heartbeat time.Duration
 	// Logger receives stream lifecycle warnings; nil uses slog.Default().
 	Logger *slog.Logger
+	// CheckpointSeq, when non-nil, reports the sequence covered by the
+	// leader's latest on-disk checkpoint (false when none exists yet).
+	// Compaction refusals (410) include it so a follower — or the human
+	// debugging one — can see whether a checkpoint re-seed can bridge
+	// the gap. durable.Engine.CheckpointSeq and
+	// durable.CheckpointDir.CheckpointSeq both fit.
+	CheckpointSeq func() (uint64, bool)
 }
 
 // Log is the leader-side replication source: an append-only, sequence-
@@ -44,9 +51,10 @@ type LogOptions struct {
 // Append is called from the single-writer apply loop; everything else
 // may run concurrently.
 type Log struct {
-	hb     time.Duration
-	retain int
-	logger *slog.Logger
+	hb      time.Duration
+	retain  int
+	logger  *slog.Logger
+	ckptSeq func() (uint64, bool)
 
 	mu     sync.Mutex
 	frames [][]byte // frames[i] holds seq first+i
@@ -67,7 +75,8 @@ func NewLog(opts LogOptions) *Log {
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return &Log{hb: hb, retain: opts.Retain, logger: logger, notify: make(chan struct{})}
+	return &Log{hb: hb, retain: opts.Retain, logger: logger,
+		ckptSeq: opts.CheckpointSeq, notify: make(chan struct{})}
 }
 
 // SetFloor declares every record ≤ seq unavailable — the leader's
@@ -198,8 +207,18 @@ func (l *Log) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	floor, last := l.floor, l.last
 	l.mu.Unlock()
 	if from < floor {
-		httpError(w, http.StatusGone, ErrLogCompacted.Error(),
-			fmt.Sprintf("requested resume after seq %d, log floor is %d", from, floor))
+		resp := CompactedResponse{
+			Error: ErrLogCompacted.Error(),
+			Detail: fmt.Sprintf("requested resume after seq %d, log floor is %d; re-seed from a checkpoint",
+				from, floor),
+			Floor: floor,
+		}
+		if l.ckptSeq != nil {
+			resp.CheckpointSeq, resp.CheckpointAvailable = l.ckptSeq()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(resp)
 		return
 	}
 	flusher, _ := w.(http.Flusher)
@@ -246,6 +265,25 @@ func (l *Log) serveHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// CompactedResponse is the 410 body a compacted stream request gets:
+// the standard error/detail pair extended with the log floor and
+// whether (and through which sequence) a checkpoint is available for
+// re-seeding. Followers act on the status code alone; the structured
+// fields are the operator-facing diagnosis of why the stream cannot
+// resume and what will bridge the gap.
+type CompactedResponse struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+	// Floor is the highest unavailable sequence number: the stream can
+	// only resume from a position > Floor.
+	Floor uint64 `json:"floor"`
+	// CheckpointAvailable reports whether the leader has a checkpoint to
+	// re-seed from (served at /v1/checkpoint); CheckpointSeq is the
+	// sequence it covers when so.
+	CheckpointAvailable bool   `json:"checkpoint_available"`
+	CheckpointSeq       uint64 `json:"checkpoint_seq,omitempty"`
 }
 
 // httpError writes a JSON error body, the shape shared by every

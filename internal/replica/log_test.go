@@ -179,13 +179,16 @@ func TestLogHandlerStatusCodes(t *testing.T) {
 }
 
 // TestFollowerTerminalOnCompaction: a follower whose resume position
-// fell below the leader's floor stops with ErrLogCompacted instead of
+// fell below the leader's floor — on a leader that serves no
+// checkpoint to re-seed from — stops with ErrLogCompacted instead of
 // retrying forever.
 func TestFollowerTerminalOnCompaction(t *testing.T) {
 	l := NewLog(LogOptions{})
 	defer l.Close()
 	l.SetFloor(10)
-	ts := httptest.NewServer(l.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/wal", l.Handler())
+	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
 	eng := newTestEngine(t, 4)

@@ -44,11 +44,19 @@ var ErrFollower = errors.New("replica: follower is read-only (submit writes to t
 // ErrLogCompacted reports a resume position below the leader's
 // replication log floor: the records were absorbed into a checkpoint
 // before the log attached, so the follower cannot be caught up by
-// streaming alone. Surfaced as HTTP 410 by the Log handler. Recover by
-// re-seeding the follower (fresh directory, replay from the leader's
-// base graph) — with Log retention at default (unbounded) this only
-// happens to followers that first connect after the leader restarted.
+// streaming alone. Surfaced as HTTP 410 by the Log handler. A follower
+// whose applier can install checkpoints (durable engines and the
+// engine applier both can) recovers on its own by fetching the
+// leader's checkpoint from /v1/checkpoint and resuming the stream
+// from its sequence; the error is terminal only when the leader serves
+// no checkpoint to bridge the gap.
 var ErrLogCompacted = errors.New("replica: replication log compacted before requested sequence")
+
+// ErrStreamStalled reports a connection the stall watchdog killed: the
+// stream carried neither records nor heartbeats for longer than the
+// configured stall timeout. Always transient — the follower drops the
+// connection and re-enters backoff-reconnect.
+var ErrStreamStalled = errors.New("replica: replication stream stalled")
 
 // ErrStreamCorrupt reports a malformed replication stream: bad hello
 // magic, an unknown message tag, or a frame that failed CRC or decode.
@@ -60,10 +68,13 @@ var ErrStreamCorrupt = errors.New("replica: corrupt replication stream")
 // handles) is the instrumentation-off state, matching the other
 // subsystems' nil-safe pattern.
 type metrics struct {
-	lagGenerations *obs.Gauge
-	lagSeconds     *obs.Gauge
-	records        *obs.Counter
-	resumes        *obs.Counter
+	lagGenerations  *obs.Gauge
+	lagSeconds      *obs.Gauge
+	records         *obs.Counter
+	resumes         *obs.Counter
+	reseeds         *obs.Counter
+	stalls          *obs.Counter
+	checkpointFetch *obs.Histogram
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -79,6 +90,13 @@ func newMetrics(r *obs.Registry) metrics {
 			"WAL records received and applied from the replication stream."),
 		resumes: r.Counter("graphbolt_replica_resumes_total",
 			"Stream reconnects after the initial connection (resume-by-seq events)."),
+		reseeds: r.Counter("graphbolt_replica_reseeds_total",
+			"Checkpoint re-seeds after the leader compacted past the resume position."),
+		stalls: r.Counter("graphbolt_replica_stalls_total",
+			"Connections dropped by the stream-stall watchdog (no records or heartbeats)."),
+		checkpointFetch: r.Histogram("graphbolt_replica_checkpoint_fetch_seconds",
+			"Checkpoint fetch-and-install duration during a re-seed.",
+			obs.DefTimeBuckets),
 	}
 }
 

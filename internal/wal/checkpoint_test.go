@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestCheckpointHeaderRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 42, 1<<63 + 7} {
+		hdr := EncodeCheckpointHeader(seq)
+		got, err := ParseCheckpointHeader(hdr[:])
+		if err != nil {
+			t.Fatalf("ParseCheckpointHeader(seq=%d): %v", seq, err)
+		}
+		if got != seq {
+			t.Fatalf("round trip seq %d -> %d", seq, got)
+		}
+		got, err = ReadCheckpointHeader(bytes.NewReader(hdr[:]))
+		if err != nil || got != seq {
+			t.Fatalf("ReadCheckpointHeader(seq=%d) = %d, %v", seq, got, err)
+		}
+	}
+}
+
+func TestCheckpointHeaderRejectsCorruption(t *testing.T) {
+	hdr := EncodeCheckpointHeader(9)
+	cases := map[string][]byte{
+		"truncated": hdr[:CheckpointHeaderSize-1],
+		"empty":     nil,
+	}
+	badMagic := hdr
+	badMagic[0] ^= 0xff
+	cases["bad magic"] = badMagic[:]
+	badSeq := EncodeCheckpointHeader(9)
+	badSeq[10] ^= 0x01 // flips the covered seq without fixing the CRC
+	cases["seq bit flip"] = badSeq[:]
+	badCRC := EncodeCheckpointHeader(9)
+	badCRC[17] ^= 0x40
+	cases["crc bit flip"] = badCRC[:]
+
+	for name, data := range cases {
+		if _, err := ParseCheckpointHeader(data); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%s: ParseCheckpointHeader = %v, want ErrCheckpointCorrupt", name, err)
+		}
+	}
+	if _, err := ReadCheckpointHeader(bytes.NewReader(hdr[:5])); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("short read: %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestCheckpointHeaderLeavesTailUnread pins the streaming contract:
+// ReadCheckpointHeader consumes exactly CheckpointHeaderSize bytes, so
+// the core snapshot that follows is still readable from the same
+// stream.
+func TestCheckpointHeaderLeavesTailUnread(t *testing.T) {
+	hdr := EncodeCheckpointHeader(3)
+	payload := []byte("snapshot-bytes-follow")
+	r := bytes.NewReader(append(hdr[:], payload...))
+	if _, err := ReadCheckpointHeader(r); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(rest, payload) {
+		t.Fatalf("tail after header = %q, %v; want %q", rest, err, payload)
+	}
+}

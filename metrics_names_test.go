@@ -55,7 +55,9 @@ var (
 		"graphbolt_recovery_replayed_records_total",
 		"graphbolt_recovery_skipped_records_total",
 		"graphbolt_replica_records_streamed_total",
+		"graphbolt_replica_reseeds_total",
 		"graphbolt_replica_resumes_total",
+		"graphbolt_replica_stalls_total",
 		"graphbolt_serve_applied_batches_total",
 		"graphbolt_serve_apply_errors_total",
 		"graphbolt_serve_coalesced_batches_total",
@@ -100,6 +102,7 @@ var (
 		"graphbolt_engine_batch_duration_seconds",
 		"graphbolt_engine_run_duration_seconds",
 		"graphbolt_parallel_worker_utilization",
+		"graphbolt_replica_checkpoint_fetch_seconds",
 		"graphbolt_serve_queue_wait_seconds",
 		"graphbolt_serve_read_staleness_seconds",
 		"graphbolt_serve_recovery_backoff_seconds",

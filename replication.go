@@ -1,6 +1,8 @@
 package graphbolt
 
 import (
+	"net/http"
+
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/replica"
@@ -14,11 +16,14 @@ import (
 //
 // Leader wiring:
 //
-//	rlog := graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{})
+//	rlog := graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{
+//		CheckpointSeq: graphbolt.CheckpointDir(dir).CheckpointSeq,
+//	})
 //	d, _ := graphbolt.OpenDurable(eng, dir, graphbolt.DurableOptions{OnRecord: rlog.Append})
 //	rlog.SetFloor(d.Recovery().SnapshotSeq)
 //	srv := graphbolt.NewDurableServer(d, graphbolt.ServerOptions{DisableCoalescing: true})
-//	mux.Handle("/v1/wal", rlog.Handler())
+//	mux.Handle("GET /v1/wal", rlog.Handler())
+//	mux.Handle("GET /v1/checkpoint", graphbolt.CheckpointHandler(d))
 //	mux.Handle("/v1/", graphbolt.QueryHandler(srv))
 //
 // DisableCoalescing matters: with coalescing on, one journal record can
@@ -81,6 +86,58 @@ func NewEngineApplier[V, A any](eng *Engine[V, A]) RecordApplier {
 // callers assembling a registry by hand.
 func RegisterReplicaMetrics(reg *obs.Registry) { replica.RegisterMetrics(reg) }
 
+// Checkpoint shipping: the re-seed path that lets a follower survive
+// leader compaction. When a follower's resume position falls below the
+// replication log's floor (HTTP 410, ErrReplicationLogCompacted), it
+// fetches the leader's newest on-disk checkpoint from /v1/checkpoint,
+// installs it through the same validated recovery path OpenDurable
+// uses, and resumes the WAL stream from the checkpoint's sequence.
+//
+// Leader wiring (alongside the /v1/wal mount above):
+//
+//	rlog := graphbolt.NewReplicationLog(graphbolt.ReplicationLogOptions{
+//		CheckpointSeq: d.CheckpointSeq, // 410 bodies advertise the checkpoint
+//	})
+//	mux.Handle("GET /v1/checkpoint", graphbolt.CheckpointHandler(d))
+
+// CheckpointSource serves the newest on-disk checkpoint; a
+// *DurableEngine is one, and CheckpointDir adapts a bare directory.
+type CheckpointSource = replica.CheckpointSource
+
+// CheckpointFile is an open, header-verified checkpoint ready to
+// stream; callers must Close it.
+type CheckpointFile = durable.CheckpointFile
+
+// CheckpointDir adapts a durable directory (no open engine needed) as
+// a CheckpointSource — e.g. to serve checkpoints from a leader process
+// that owns the directory.
+type CheckpointDir = durable.CheckpointDir
+
+// CheckpointInstaller is the re-seed sink: a RecordApplier that can
+// atomically replace its state with a shipped checkpoint. Both the
+// durable and in-memory appliers implement it.
+type CheckpointInstaller = replica.CheckpointInstaller
+
+// CompactedResponse is the JSON body of a 410 replication-stream
+// response: the log floor plus whether (and through which sequence) a
+// checkpoint can bridge the gap.
+type CompactedResponse = replica.CompactedResponse
+
+// CheckpointSeqHeader is the response header carrying the checkpoint's
+// covered sequence number on /v1/checkpoint responses.
+const CheckpointSeqHeader = replica.SeqHeader
+
+// DefaultStallTimeout is the follower's default stream-stall watchdog
+// threshold (FollowerOptions.StallTimeout).
+const DefaultStallTimeout = replica.DefaultStallTimeout
+
+// CheckpointHandler serves GET /v1/checkpoint from src: the newest
+// checkpoint streamed with ETag and CheckpointSeqHeader, 404 until one
+// exists.
+func CheckpointHandler(src CheckpointSource) http.Handler {
+	return replica.CheckpointHandler(src)
+}
+
 var (
 	// ErrFollower reports a write submitted to a read-only follower;
 	// Submit wraps it in a *RetryableError, so RetryAfter works on it.
@@ -91,4 +148,13 @@ var (
 	// ErrOutOfOrder reports a replayed record whose sequence number is
 	// not exactly one past the engine's last applied batch.
 	ErrOutOfOrder = durable.ErrOutOfOrder
+	// ErrNoCheckpoint reports a checkpoint request against a leader that
+	// has not written one yet (HTTP 404 on /v1/checkpoint).
+	ErrNoCheckpoint = durable.ErrNoCheckpoint
+	// ErrCheckpointStale reports a shipped checkpoint whose sequence does
+	// not advance the installer — installing it would rewind state.
+	ErrCheckpointStale = durable.ErrCheckpointStale
+	// ErrStreamStalled reports a replication connection dropped by the
+	// follower's stall watchdog after StallTimeout of silence.
+	ErrStreamStalled = replica.ErrStreamStalled
 )
